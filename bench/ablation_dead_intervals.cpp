@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation: live/dead interval accounting (paper Section 3.1).
+ *
+ * The paper deliberately charges the induced-miss re-fetch energy CD
+ * on every slept interval, ignoring that intervals ending in an
+ * eviction-refill (dead blocks) would have fetched anyway.  This bench
+ * quantifies that simplification: each scheme evaluated under the
+ * paper's accounting vs dead-block-aware accounting (CD only on
+ * reuse-ending intervals), supporting the paper's claim that the
+ * distinction contributes little at the optimum.
+ */
+
+#include "bench_common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace leakbound;
+    using namespace leakbound::bench;
+
+    auto cli = make_cli("ablation_dead_intervals",
+                        "ablation: dead-interval CD accounting");
+    cli.parse(argc, argv);
+
+    const auto runs = run_standard_suite(cli.get_u64("instructions"));
+    const core::EnergyModel model(
+        power::node_params(power::TechNode::Nm70));
+
+    struct SchemeFactory
+    {
+        const char *name;
+        std::function<core::PolicyPtr(bool)> make;
+    };
+    const SchemeFactory schemes[] = {
+        {"OPT-Hybrid",
+         [&](bool cd) { return core::make_opt_hybrid(model, cd); }},
+        {"OPT-Sleep(b)",
+         [&](bool cd) { return core::make_opt_sleep(model, 1057, cd); }},
+        {"Sleep(10K)",
+         [&](bool cd) {
+             return core::make_decay_sleep(model, 10'000, cd);
+         }},
+    };
+
+    for (CacheSide side : {CacheSide::Instruction, CacheSide::Data}) {
+        util::Table table(
+            std::string("dead-interval ablation, 70nm, ") +
+            (side == CacheSide::Instruction ? "I-cache" : "D-cache"));
+        table.set_header({"scheme", "paper accounting",
+                          "dead-block aware", "delta",
+                          "induced misses (paper acct)"});
+        for (const SchemeFactory &s : schemes) {
+            const auto paper_acct =
+                suite_average(*s.make(true), runs, side);
+            const auto dead_aware =
+                suite_average(*s.make(false), runs, side);
+            table.add_row(
+                {s.name, pct(paper_acct.savings), pct(dead_aware.savings),
+                 util::format_percent(dead_aware.savings -
+                                      paper_acct.savings, 2),
+                 util::format_commas(paper_acct.induced_misses)});
+        }
+        table.print();
+    }
+    std::printf("paper claim (Section 3.1): at the optimum, dead-period\n"
+                "refinement adds little — long intervals sleep either\n"
+                "way, and short dead intervals are rare.\n");
+    return 0;
+}

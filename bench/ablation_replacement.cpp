@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Ablation: replacement policy sensitivity + a Belady-MIN reference.
+ *
+ * The paper fixes LRU throughout the hierarchy (Section 4.1).  This
+ * bench (a) re-runs the suite under FIFO and Random replacement to
+ * show how robust the leakage bounds are to that choice, and (b)
+ * compares the online policies' L1D miss rates against offline
+ * Belady-MIN on a captured reference stream — the replacement
+ * analogue of the leakage limit this library is about.
+ */
+
+#include "bench_common.hpp"
+#include "sim/belady.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace leakbound;
+    using namespace leakbound::bench;
+
+    auto cli = make_cli("ablation_replacement",
+                        "ablation: replacement policy sensitivity");
+    cli.parse(argc, argv);
+    const std::uint64_t instructions = cli.get_u64("instructions");
+
+    const core::EnergyModel model(
+        power::node_params(power::TechNode::Nm70));
+
+    // Part (a): leakage bounds under each replacement policy.
+    util::Table table("replacement sensitivity of the 70nm bound");
+    table.set_header({"replacement", "l1d miss rate", "OPT-Hybrid I",
+                      "OPT-Hybrid D"});
+    for (sim::ReplacementKind kind :
+         {sim::ReplacementKind::Lru, sim::ReplacementKind::Fifo,
+          sim::ReplacementKind::Random}) {
+        core::ExperimentConfig config;
+        config.instructions = instructions;
+        config.extra_edges = core::standard_extra_edges();
+        config.hierarchy.l1i.replacement = kind;
+        config.hierarchy.l1d.replacement = kind;
+        const auto runs =
+            core::run_suite(workload::suite_names(), config);
+
+        double misses = 0, accesses = 0;
+        for (const auto &run : runs) {
+            misses += static_cast<double>(run.dcache.stats.misses);
+            accesses += static_cast<double>(run.dcache.stats.accesses);
+        }
+        const auto hybrid = core::make_opt_hybrid(model);
+        table.add_row(
+            {sim::replacement_name(kind),
+             util::format_percent(accesses ? misses / accesses : 0, 2),
+             pct(suite_average(*hybrid, runs, CacheSide::Instruction)
+                     .savings),
+             pct(suite_average(*hybrid, runs, CacheSide::Data).savings)});
+    }
+    table.print();
+
+    // Part (b): Belady-MIN vs the online policies on one benchmark's
+    // data stream (addresses only; timing is irrelevant to miss rate).
+    const std::uint64_t stream_len = std::min<std::uint64_t>(
+        instructions, 1'000'000);
+    workload::WorkloadPtr bench = workload::make_benchmark("gcc");
+    std::vector<Addr> stream;
+    trace::MicroOp op;
+    while (stream.size() < stream_len && bench->next(op)) {
+        if (op.kind != trace::InstrKind::Op)
+            stream.push_back(op.addr);
+    }
+
+    util::Table minvs("L1D miss rates on gcc's data stream (" +
+                      util::format_commas(stream.size()) + " accesses)");
+    minvs.set_header({"policy", "misses", "miss rate"});
+    const sim::CacheConfig l1d = sim::CacheConfig::alpha_l1d();
+    for (sim::ReplacementKind kind :
+         {sim::ReplacementKind::Lru, sim::ReplacementKind::Fifo,
+          sim::ReplacementKind::Random}) {
+        sim::CacheConfig config = l1d;
+        config.replacement = kind;
+        sim::Cache cache(config);
+        for (Addr a : stream)
+            cache.access(a);
+        minvs.add_row({sim::replacement_name(kind),
+                       util::format_commas(cache.stats().misses),
+                       util::format_percent(cache.stats().miss_rate(), 2)});
+    }
+    const sim::BeladyResult opt = sim::simulate_belady(l1d, stream);
+    minvs.add_separator();
+    minvs.add_row({"Belady-MIN (offline bound)",
+                   util::format_commas(opt.stats.misses),
+                   util::format_percent(opt.stats.miss_rate(), 2)});
+    minvs.print();
+
+    std::printf("the leakage bound barely moves with the replacement\n"
+                "policy (intervals are a frame-level property), and MIN\n"
+                "bounds every online policy — the same bound-vs-policy\n"
+                "relationship the paper builds for leakage.\n");
+    return 0;
+}

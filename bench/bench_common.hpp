@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Shared plumbing for the bench binaries: run the six-benchmark suite
+ * once with edges covering every stock policy, and evaluate schemes
+ * per cache with the paper's averaging (energy-pooled across
+ * benchmarks).
+ *
+ * Every bench binary is self-contained: run it with no arguments and
+ * it prints the table/figure it reproduces next to the paper's
+ * reference numbers.  --instructions scales simulation length.
+ */
+
+#ifndef LEAKBOUND_BENCH_BENCH_COMMON_HPP
+#define LEAKBOUND_BENCH_BENCH_COMMON_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/policies.hpp"
+#include "core/savings.hpp"
+#include "util/cli.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+#include "workload/spec_suite.hpp"
+
+namespace leakbound::bench {
+
+/** Default per-benchmark instruction budget for bench runs. */
+inline constexpr std::uint64_t kDefaultInstructions = 4'000'000;
+
+/** Build the standard CLI for a bench binary. */
+inline util::Cli
+make_cli(const std::string &name, const std::string &desc)
+{
+    util::Cli cli(name, desc);
+    cli.add_flag("instructions", "dynamic instructions per benchmark",
+                 std::to_string(kDefaultInstructions));
+    cli.add_flag("csv-dir", "also mirror each table to CSV files in "
+                            "this directory (empty = off)",
+                 "");
+    return cli;
+}
+
+/**
+ * Print @p table and, when --csv-dir was given, mirror it to
+ * <csv-dir>/<slug>.csv.
+ */
+inline void
+emit(const util::Table &table, const util::Cli &cli,
+     const std::string &slug)
+{
+    table.print();
+    const std::string dir = cli.get("csv-dir");
+    if (!dir.empty())
+        table.write_csv(dir + "/" + slug + ".csv");
+}
+
+/**
+ * Simulate the full six-benchmark suite with histogram edges covering
+ * every stock experiment (plus @p extra_edges for custom sweeps).
+ */
+inline std::vector<core::ExperimentResult>
+run_standard_suite(std::uint64_t instructions,
+                   std::vector<Cycles> extra_edges = {})
+{
+    core::ExperimentConfig config;
+    config.instructions = instructions;
+    config.extra_edges = core::standard_extra_edges();
+    config.extra_edges.insert(config.extra_edges.end(),
+                              extra_edges.begin(), extra_edges.end());
+    return core::run_suite(workload::suite_names(), config);
+}
+
+/** Which L1 a scheme is evaluated against. */
+enum class CacheSide { Instruction, Data };
+
+/** The interval population of @p side in @p run. */
+inline const interval::IntervalHistogramSet &
+population(const core::ExperimentResult &run, CacheSide side)
+{
+    return side == CacheSide::Instruction ? run.icache.intervals
+                                          : run.dcache.intervals;
+}
+
+/** Evaluate a policy on one cache of one run. */
+inline core::SavingsResult
+evaluate(const core::Policy &policy, const core::ExperimentResult &run,
+         CacheSide side)
+{
+    return core::evaluate_policy(policy, population(run, side));
+}
+
+/**
+ * The paper's "average" bars: pool energies across all benchmarks
+ * (sum of policy energy over sum of baselines).
+ */
+inline core::SavingsResult
+suite_average(const core::Policy &policy,
+              const std::vector<core::ExperimentResult> &runs,
+              CacheSide side)
+{
+    std::vector<core::SavingsResult> per_run;
+    per_run.reserve(runs.size());
+    for (const auto &run : runs)
+        per_run.push_back(evaluate(policy, run, side));
+    return core::combine_results(per_run);
+}
+
+/** "96.4%"-style cell for a savings fraction. */
+inline std::string
+pct(double fraction)
+{
+    return util::format_percent(fraction);
+}
+
+} // namespace leakbound::bench
+
+#endif // LEAKBOUND_BENCH_BENCH_COMMON_HPP

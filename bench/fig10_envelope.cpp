@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces paper Figure 10 (Appendix): the per-interval energy of
+ * the three operating modes as a function of interval length, whose
+ * lower envelope — active on (0,a], drowsy on (a,b], sleep on
+ * (b,inf) — is the optimal policy.  Also prints the Fig. 6 transition
+ * energies (the model's edge weights).
+ */
+
+#include "bench_common.hpp"
+#include "core/inflection.hpp"
+#include "core/state_model.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace leakbound;
+    using namespace leakbound::bench;
+
+    util::Cli cli("fig10_envelope",
+                  "Figure 10: mode energies and the optimal envelope");
+    cli.parse(argc, argv);
+
+    const auto &tech = power::node_params(power::TechNode::Nm70);
+    const core::EnergyModel model(tech);
+    const auto points = core::compute_inflection(model);
+
+    util::Table table("Figure 10: interval energy by mode, 70nm "
+                      "(LU-cycles; * = lower envelope)");
+    table.set_header(
+        {"interval L", "E_active", "E_drowsy", "E_sleep", "optimal"});
+    const Cycles samples[] = {1,    4,    6,    7,     20,   37,
+                              100,  300,  700,  1056,  1057, 1058,
+                              2000, 5000, 20000, 100000};
+    for (Cycles len : samples) {
+        using interval::IntervalKind;
+        const auto fmt = [&](core::Mode mode) -> std::string {
+            if (!model.applicable(mode, len, IntervalKind::Inner))
+                return "n/a";
+            return util::format_fixed(
+                model.energy(mode, len, IntervalKind::Inner), 1);
+        };
+        const core::Mode best =
+            model.optimal_mode(len, IntervalKind::Inner);
+        table.add_row({util::format_commas(len), fmt(core::Mode::Active),
+                       fmt(core::Mode::Drowsy), fmt(core::Mode::Sleep),
+                       core::mode_name(best)});
+    }
+    table.print();
+
+    std::printf("inflection points: a = %llu, b = %llu "
+                "(paper Table 1: 6, 1057)\n\n",
+                static_cast<unsigned long long>(points.active_drowsy),
+                static_cast<unsigned long long>(points.drowsy_sleep));
+
+    const core::TransitionEnergies e = core::transition_energies(tech);
+    util::Table edges("Figure 6 edge weights (transition energies)");
+    edges.set_header({"edge", "energy (LU-cycles)"});
+    edges.add_row({"E_AD (active->drowsy)",
+                   util::format_fixed(e.active_to_drowsy, 1)});
+    edges.add_row({"E_DA (drowsy->active)",
+                   util::format_fixed(e.drowsy_to_active, 1)});
+    edges.add_row({"E_AS (active->sleep)",
+                   util::format_fixed(e.active_to_sleep, 1)});
+    edges.add_row({"E_SA (sleep->active, incl. re-fetch CD)",
+                   util::format_fixed(e.sleep_to_active, 1)});
+    edges.print();
+    return 0;
+}

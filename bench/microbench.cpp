@@ -1,0 +1,142 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the simulator substrate itself:
+ * cache access throughput, interval collection, histogram insertion,
+ * exact policy evaluation, the stride predictor and the end-to-end
+ * pipeline.  These guard the "laptop-scale in seconds" property the
+ * bench suite depends on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.hpp"
+#include "core/policies.hpp"
+#include "core/savings.hpp"
+#include "interval/collector.hpp"
+#include "prefetch/stride.hpp"
+#include "sim/cache.hpp"
+#include "util/flat_map.hpp"
+#include "util/random.hpp"
+#include "workload/spec_suite.hpp"
+
+namespace {
+
+using namespace leakbound;
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    sim::Cache cache(sim::CacheConfig::alpha_l1d());
+    util::Rng rng(1);
+    // 256KB working set: a realistic hit/miss mix.
+    std::vector<Addr> addrs(4096);
+    for (auto &a : addrs)
+        a = rng.next_below(256 * 1024);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addrs[i++ & 4095]));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_IntervalCollect(benchmark::State &state)
+{
+    auto set = interval::IntervalHistogramSet::with_default_edges();
+    interval::IntervalCollector collector(1024, &set);
+    util::Rng rng(2);
+    Cycle cycle = 0;
+    for (auto _ : state) {
+        cycle += rng.next_below(16);
+        collector.on_access(
+            static_cast<FrameId>(rng.next_below(1024)), cycle,
+            rng.next_bool(0.9), false, rng.next_bool(0.2));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IntervalCollect);
+
+void
+BM_HistogramAdd(benchmark::State &state)
+{
+    util::Histogram h(interval::IntervalHistogramSet::default_edges());
+    util::Rng rng(3);
+    for (auto _ : state)
+        h.add(rng.next_below(1 << 20));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramAdd);
+
+void
+BM_FlatMapPutGet(benchmark::State &state)
+{
+    util::FlatMap map(1 << 16);
+    util::Rng rng(4);
+    for (auto _ : state) {
+        const std::uint64_t k = rng.next_below(1 << 18);
+        map.put(k, k);
+        benchmark::DoNotOptimize(map.get_or(k ^ 1, 0));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlatMapPutGet);
+
+void
+BM_StridePredictor(benchmark::State &state)
+{
+    prefetch::StridePredictor predictor;
+    util::Rng rng(5);
+    Addr addr = 0x100000;
+    for (auto _ : state) {
+        const Pc pc = 0x4000 + (rng.next_below(64) << 2);
+        addr += 64;
+        benchmark::DoNotOptimize(predictor.access(pc, addr));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StridePredictor);
+
+void
+BM_PolicyEvaluation(benchmark::State &state)
+{
+    // Evaluate OPT-Hybrid over a populated histogram set: this is the
+    // inner loop of every figure sweep.
+    const core::EnergyModel model(
+        power::node_params(power::TechNode::Nm70));
+    const auto policy = core::make_opt_hybrid(model);
+    auto set = interval::IntervalHistogramSet::with_default_edges(
+        policy->thresholds());
+    util::Rng rng(6);
+    for (int i = 0; i < 100'000; ++i) {
+        interval::Interval iv;
+        iv.length = rng.next_below(1 << 21);
+        iv.ends_in_reuse = rng.next_bool(0.7);
+        set.add(iv);
+    }
+    set.set_run_info(1024, 4'000'000);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::evaluate_policy(*policy, set));
+    }
+}
+BENCHMARK(BM_PolicyEvaluation);
+
+void
+BM_EndToEndPipeline(benchmark::State &state)
+{
+    // Instructions-per-second of the full workload->core->interval
+    // pipeline on gzip.
+    core::ExperimentConfig config;
+    config.instructions = 200'000;
+    config.extra_edges = core::standard_extra_edges();
+    for (auto _ : state) {
+        auto w = workload::make_benchmark("gzip");
+        benchmark::DoNotOptimize(core::run_experiment(*w, config));
+    }
+    state.SetItemsProcessed(state.iterations() * config.instructions);
+}
+BENCHMARK(BM_EndToEndPipeline);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Prefetching as approximate oracle knowledge (paper Section 5): for
+ * one benchmark, report the stride predictor's raw coverage, the
+ * interval-level prefetchability split, and how far Prefetch-A/B land
+ * from the OPT-Hybrid bound — including a sweep over stride-table
+ * sizes to show hardware-budget sensitivity.
+ *
+ * Usage: prefetch_study [--benchmark applu] [--instructions 2000000]
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "core/inflection.hpp"
+#include "core/policies.hpp"
+#include "core/savings.hpp"
+#include "prefetch/prefetchability.hpp"
+#include "util/cli.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+#include "workload/spec_suite.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace leakbound;
+
+    util::Cli cli("prefetch_study",
+                  "prefetching vs the leakage oracle");
+    cli.add_flag("benchmark", "suite benchmark", "applu");
+    cli.add_flag("instructions", "dynamic instructions", "2000000");
+    cli.parse(argc, argv);
+
+    const core::EnergyModel model(
+        power::node_params(power::TechNode::Nm70));
+    const auto points = core::compute_inflection(model);
+    using interval::PrefetchClass;
+    const std::vector<PrefetchClass> dcls = {PrefetchClass::NextLine,
+                                             PrefetchClass::Stride};
+
+    util::Table table("stride-table sweep on " + cli.get("benchmark") +
+                      " (D-cache, 70nm)");
+    table.set_header({"stride entries", "NL intervals", "stride intervals",
+                      "Prefetch-A", "Prefetch-B", "OPT-Hybrid"});
+
+    for (std::uint32_t entries : {64u, 512u, 4096u, 0u /*unbounded*/}) {
+        core::ExperimentConfig config;
+        config.instructions = cli.get_u64("instructions");
+        config.extra_edges = core::standard_extra_edges();
+        config.stride.table_entries = entries;
+
+        workload::WorkloadPtr bench =
+            workload::make_benchmark(cli.get("benchmark"));
+        const core::ExperimentResult run =
+            core::run_experiment(*bench, config);
+        const auto &set = run.dcache.intervals;
+
+        const auto report =
+            prefetch::analyze_prefetchability(set, points);
+        auto savings = [&](const core::PolicyPtr &p) {
+            return util::format_percent(
+                core::evaluate_policy(*p, set).savings);
+        };
+        table.add_row(
+            {entries ? std::to_string(entries) : "unbounded",
+             util::format_percent(report.next_line_fraction),
+             util::format_percent(report.stride_fraction),
+             savings(core::make_prefetch(model, core::PrefetchVariant::A,
+                                         dcls)),
+             savings(core::make_prefetch(model, core::PrefetchVariant::B,
+                                         dcls)),
+             savings(core::make_opt_hybrid(model))});
+    }
+    table.print();
+
+    std::printf(
+        "the paper's observation: prefetching, normally a latency\n"
+        "tool, lets sleep mode be applied aggressively without the\n"
+        "wakeup penalty — pushing a realizable policy to within a few\n"
+        "points of the oracle (Prefetch-B vs OPT-Hybrid).  A bigger\n"
+        "stride table converts more long intervals to prefetchable.\n");
+    return 0;
+}

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Implementation of the closed-form interval energy model.
+ */
+
+#include "core/energy_model.hpp"
+
+#include "util/logging.hpp"
+
+namespace leakbound::core {
+
+using interval::IntervalKind;
+
+const char *
+mode_name(Mode mode)
+{
+    switch (mode) {
+      case Mode::Active:
+        return "active";
+      case Mode::Drowsy:
+        return "drowsy";
+      case Mode::Sleep:
+        return "sleep";
+    }
+    return "?";
+}
+
+EnergyModel::EnergyModel(const power::TechnologyParams &tech)
+    : tech_(tech)
+{
+    tech_.validate();
+}
+
+Cycles
+EnergyModel::min_length(Mode mode, IntervalKind kind) const
+{
+    const auto &t = tech_.timings;
+    switch (mode) {
+      case Mode::Active:
+        return 0;
+      case Mode::Drowsy:
+        switch (kind) {
+          case IntervalKind::Inner:
+            return t.drowsy_overhead(); // d1 + d3
+          case IntervalKind::Trailing:
+            return t.d1; // entered, never woken
+          case IntervalKind::Leading:
+          case IntervalKind::Untouched:
+            return 0; // nothing resident; no transitions needed
+        }
+        break;
+      case Mode::Sleep:
+        switch (kind) {
+          case IntervalKind::Inner:
+            return t.sleep_overhead(); // s1 + s3 + s4
+          case IntervalKind::Trailing:
+            return t.s1; // entered, never woken
+          case IntervalKind::Leading:
+          case IntervalKind::Untouched:
+            return 0; // frame starts without valid data
+        }
+        break;
+    }
+    LEAKBOUND_PANIC("unreachable: bad mode/kind");
+}
+
+bool
+EnergyModel::applicable(Mode mode, Cycles length, IntervalKind kind) const
+{
+    return length >= min_length(mode, kind);
+}
+
+LinearEnergy
+EnergyModel::linear(Mode mode, IntervalKind kind, bool charge_refetch) const
+{
+    const auto &t = tech_.timings;
+    const double pa = tech_.active_power;
+    const double pd = tech_.drowsy_power;
+    const double ps = tech_.sleep_power;
+
+    LinearEnergy le;
+    switch (mode) {
+      case Mode::Active:
+        le.slope = pa;
+        le.intercept = 0.0;
+        return le;
+
+      case Mode::Drowsy:
+        le.slope = pd;
+        switch (kind) {
+          case IntervalKind::Inner:
+            // Transitions dissipate at full active power (see header:
+            // this makes a = d1 + d3 the exact active-drowsy tie
+            // point, matching the paper's definition); resident time
+            // at P_D.
+            le.intercept =
+                (pa - pd) * static_cast<double>(t.d1 + t.d3);
+            return le;
+          case IntervalKind::Trailing:
+            le.intercept = (pa - pd) * static_cast<double>(t.d1);
+            return le;
+          case IntervalKind::Leading:
+          case IntervalKind::Untouched:
+            le.intercept = 0.0;
+            return le;
+        }
+        break;
+
+      case Mode::Sleep:
+        le.slope = ps;
+        switch (kind) {
+          case IntervalKind::Inner:
+            le.intercept =
+                (pa - ps) * static_cast<double>(t.s1 + t.s3 + t.s4) +
+                (charge_refetch ? tech_.refetch_energy : 0.0);
+            return le;
+          case IntervalKind::Trailing:
+            le.intercept = (pa - ps) * static_cast<double>(t.s1);
+            return le;
+          case IntervalKind::Leading:
+          case IntervalKind::Untouched:
+            le.intercept = 0.0;
+            return le;
+        }
+        break;
+    }
+    LEAKBOUND_PANIC("unreachable: bad mode/kind");
+}
+
+Energy
+EnergyModel::energy(Mode mode, Cycles length, IntervalKind kind,
+                    bool charge_refetch) const
+{
+    LEAKBOUND_ASSERT(applicable(mode, length, kind), "mode ",
+                     mode_name(mode), " does not fit a ",
+                     interval::kind_name(kind), " interval of length ",
+                     length);
+    return linear(mode, kind, charge_refetch).at(length);
+}
+
+Mode
+EnergyModel::optimal_mode(Cycles length, IntervalKind kind,
+                          bool charge_refetch) const
+{
+    Mode best = Mode::Active;
+    Energy best_energy = energy(Mode::Active, length, kind, charge_refetch);
+    // Prefer lower-power modes on ties: evaluate Drowsy then Sleep with
+    // `<=` so Sleep wins an exact tie at the inflection point.
+    for (Mode mode : {Mode::Drowsy, Mode::Sleep}) {
+        if (!applicable(mode, length, kind))
+            continue;
+        const Energy e = energy(mode, length, kind, charge_refetch);
+        if (e <= best_energy) {
+            best = mode;
+            best_energy = e;
+        }
+    }
+    return best;
+}
+
+Energy
+EnergyModel::optimal_energy(Cycles length, IntervalKind kind,
+                            bool charge_refetch) const
+{
+    return energy(optimal_mode(length, kind, charge_refetch), length, kind,
+                  charge_refetch);
+}
+
+} // namespace leakbound::core

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Closed-form per-interval leakage energy model (paper Eq. 1-3).
+ *
+ * For one cache frame resting for L cycles between accesses, each
+ * operating mode costs:
+ *
+ *   E_active(L) = P_A * L
+ *   E_drowsy(L) = P_A*(d1+d3) + P_D*(L-d1-d3)
+ *   E_sleep(L)  = P_A*(s1+s3+s4) + P_S*(L-s1-s3-s4) + CD
+ *
+ * Transitions (and the s4 re-fetch wait) are charged at full active
+ * power.  This matches the paper's definitions exactly: with it, the
+ * active-drowsy inflection point is *precisely* a = d1 + d3 (the
+ * length at which E_drowsy ties E_active), which is how Section 3.2
+ * defines it.  CD is the dynamic energy of the induced-miss re-fetch.  Leading/Trailing/
+ * Untouched intervals drop the overheads that don't apply to them
+ * (see interval::IntervalKind).  Every formula is linear in L, which
+ * core::evaluate_policy exploits for exact histogram evaluation.
+ */
+
+#ifndef LEAKBOUND_CORE_ENERGY_MODEL_HPP
+#define LEAKBOUND_CORE_ENERGY_MODEL_HPP
+
+#include "interval/interval.hpp"
+#include "power/technology.hpp"
+#include "util/types.hpp"
+
+namespace leakbound::core {
+
+/** The three operating modes of the paper's model (Fig. 6 states). */
+enum class Mode : std::uint8_t { Active, Drowsy, Sleep };
+
+/** Printable mode name. */
+const char *mode_name(Mode mode);
+
+/** Slope/intercept of a linear energy function E(L) = slope*L + icept. */
+struct LinearEnergy
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+
+    /** Evaluate at length @p length. */
+    Energy at(Cycles length) const
+    {
+        return slope * static_cast<double>(length) + intercept;
+    }
+};
+
+/**
+ * Evaluates the mode energies of paper Eq. 1-2 for a technology node.
+ * Immutable after construction; cheap to copy.
+ */
+class EnergyModel
+{
+  public:
+    /** @param tech validated technology parameters. */
+    explicit EnergyModel(const power::TechnologyParams &tech);
+
+    /** The underlying technology parameters. */
+    const power::TechnologyParams &tech() const { return tech_; }
+
+    /**
+     * Can @p mode be applied to an interval of @p length cycles of the
+     * given @p kind?  A mode fits only if its transition durations fit
+     * inside the interval.
+     */
+    bool applicable(Mode mode, Cycles length,
+                    interval::IntervalKind kind) const;
+
+    /** Minimum length at which @p mode fits a @p kind interval. */
+    Cycles min_length(Mode mode, interval::IntervalKind kind) const;
+
+    /**
+     * Energy of one interval under @p mode.  Panics if the mode is not
+     * applicable (policies must check first).
+     *
+     * @param charge_refetch charge CD on slept Inner intervals; pass
+     *        false to model dead-block-aware accounting (ablation).
+     */
+    Energy energy(Mode mode, Cycles length, interval::IntervalKind kind,
+                  bool charge_refetch = true) const;
+
+    /** Slope/intercept of E_mode(L) for the given kind. */
+    LinearEnergy linear(Mode mode, interval::IntervalKind kind,
+                        bool charge_refetch = true) const;
+
+    /**
+     * The minimum-energy applicable mode for the interval (the lower
+     * envelope of paper Fig. 10).  Ties resolve to the lower-power
+     * mode (Sleep < Drowsy < Active).
+     */
+    Mode optimal_mode(Cycles length, interval::IntervalKind kind,
+                      bool charge_refetch = true) const;
+
+    /** Energy of the optimal mode. */
+    Energy optimal_energy(Cycles length, interval::IntervalKind kind,
+                          bool charge_refetch = true) const;
+
+  private:
+    power::TechnologyParams tech_;
+};
+
+} // namespace leakbound::core
+
+#endif // LEAKBOUND_CORE_ENERGY_MODEL_HPP

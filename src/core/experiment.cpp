@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Implementation of the end-to-end experiment runner.
+ */
+
+#include "core/experiment.hpp"
+
+#include <memory>
+
+#include "core/inflection.hpp"
+#include "core/policies.hpp"
+#include "interval/collector.hpp"
+#include "prefetch/next_line.hpp"
+#include "util/logging.hpp"
+#include "workload/spec_suite.hpp"
+
+namespace leakbound::core {
+
+namespace {
+
+/**
+ * Drives the interval collectors and prefetch bookkeeping from the
+ * core's access callbacks (see DESIGN.md §5 for the flag semantics).
+ */
+class CollectingListener final : public cpu::AccessListener
+{
+  public:
+    CollectingListener(const sim::HierarchyConfig &config,
+                       interval::IntervalCollector *icollector,
+                       interval::IntervalCollector *dcollector,
+                       prefetch::StridePredictor *stride,
+                       Cycles nl_lead_time)
+        : iline_(config.l1i.line_bytes), dline_(config.l1d.line_bytes),
+          icollector_(icollector), dcollector_(dcollector),
+          stride_(stride), nl_lead_(nl_lead_time)
+    {
+    }
+
+    void
+    on_instr_access(Cycle cycle, Pc pc,
+                    const sim::HierarchyResult &result) override
+    {
+        const Addr block = pc / iline_;
+        bool nl = false;
+        Cycle since;
+        if (icollector_->open_since(result.l1.frame, since))
+            nl = imonitor_.covers(block, since, cycle, nl_lead_);
+        icollector_->on_access(result.l1.frame, cycle, result.l1.hit,
+                               /*stride_predicted=*/false, nl);
+        imonitor_.record(block, cycle);
+        on_l2(cycle, result);
+    }
+
+    void
+    on_data_access(Cycle cycle, Pc pc, Addr addr, bool /*is_store*/,
+                   const sim::HierarchyResult &result) override
+    {
+        const Addr block = addr / dline_;
+        const bool stride_hit = stride_->access(pc, addr, dline_);
+        bool nl = false;
+        Cycle since;
+        if (dcollector_->open_since(result.l1.frame, since))
+            nl = dmonitor_.covers(block, since, cycle, nl_lead_);
+        dcollector_->on_access(result.l1.frame, cycle, result.l1.hit,
+                               stride_hit, nl);
+        dmonitor_.record(block, cycle);
+        on_l2(cycle, result);
+    }
+
+    /** Optional L2 observer (extension; no prefetch classification). */
+    void
+    set_l2_collector(interval::IntervalCollector *collector)
+    {
+        l2collector_ = collector;
+    }
+
+  private:
+    void
+    on_l2(Cycle cycle, const sim::HierarchyResult &result)
+    {
+        if (!l2collector_ || result.l1.hit)
+            return; // the L2 is only touched on L1 misses
+        l2collector_->on_access(result.l2.frame, cycle, result.l2.hit,
+                                /*stride_predicted=*/false,
+                                /*nl_covered=*/false);
+    }
+
+    std::uint32_t iline_;
+    std::uint32_t dline_;
+    interval::IntervalCollector *icollector_;
+    interval::IntervalCollector *dcollector_;
+    interval::IntervalCollector *l2collector_ = nullptr;
+    prefetch::StridePredictor *stride_;
+    Cycles nl_lead_;
+    prefetch::NextLineMonitor imonitor_;
+    prefetch::NextLineMonitor dmonitor_;
+};
+
+} // namespace
+
+std::vector<Cycles>
+standard_extra_edges()
+{
+    std::vector<Cycles> edges;
+    auto absorb = [&edges](const PolicyPtr &policy) {
+        for (Cycles t : policy->thresholds())
+            edges.push_back(t);
+    };
+
+    for (power::TechNode node : power::all_nodes()) {
+        const EnergyModel model(power::node_params(node));
+        const InflectionPoints points = compute_inflection(model);
+        for (bool cd : {true, false}) {
+            absorb(make_opt_drowsy(model, cd));
+            absorb(make_opt_sleep(model, points.drowsy_sleep, cd));
+            absorb(make_opt_sleep(model, 10'000, cd));
+            absorb(make_decay_sleep(model, 10'000, cd));
+            absorb(make_opt_hybrid(model, cd));
+            absorb(make_prefetch(model, PrefetchVariant::A,
+                                 {interval::PrefetchClass::NextLine,
+                                  interval::PrefetchClass::Stride},
+                                 cd));
+            absorb(make_prefetch(model, PrefetchVariant::B,
+                                 {interval::PrefetchClass::NextLine,
+                                  interval::PrefetchClass::Stride},
+                                 cd));
+            // Fig. 7 sweep and the decay-sweep ablation.
+            for (Cycles t : {points.drowsy_sleep, Cycles{1200},
+                             Cycles{1500}, Cycles{2000}, Cycles{3000},
+                             Cycles{4000}, Cycles{5000}, Cycles{6000},
+                             Cycles{7000}, Cycles{8000}, Cycles{9000},
+                             Cycles{10000}}) {
+                absorb(make_hybrid(model, t, cd));
+                absorb(make_opt_sleep(model, t, cd));
+            }
+            for (Cycles t : {Cycles{1000}, Cycles{2000}, Cycles{4000},
+                             Cycles{8000}, Cycles{16000}, Cycles{32000},
+                             Cycles{64000}}) {
+                absorb(make_decay_sleep(model, t, cd));
+            }
+            // Periodic drowsy windows (policy-zoo ablation).
+            for (Cycles w : {Cycles{2000}, Cycles{4000}, Cycles{32000}}) {
+                absorb(make_periodic_drowsy(model, w, cd));
+            }
+        }
+    }
+    return edges;
+}
+
+ExperimentResult
+run_experiment(workload::Workload &workload, const ExperimentConfig &config)
+{
+    config.hierarchy.validate();
+
+    auto edges =
+        interval::IntervalHistogramSet::default_edges(config.extra_edges);
+
+    sim::Hierarchy hierarchy(config.hierarchy);
+    ExperimentResult result{
+        CacheObservation(interval::IntervalHistogramSet(edges)),
+        CacheObservation(interval::IntervalHistogramSet(edges))};
+    result.workload = workload.name();
+
+    interval::IntervalCollector icollector(
+        hierarchy.l1i().num_frames(), &result.icache.intervals,
+        config.keep_raw);
+    interval::IntervalCollector dcollector(
+        hierarchy.l1d().num_frames(), &result.dcache.intervals,
+        config.keep_raw);
+    prefetch::StridePredictor stride(config.stride);
+
+    CollectingListener listener(config.hierarchy, &icollector, &dcollector,
+                                &stride, config.nl_lead_time);
+
+    std::unique_ptr<interval::IntervalCollector> l2collector;
+    if (config.collect_l2) {
+        result.l2cache.emplace(interval::IntervalHistogramSet(edges));
+        l2collector = std::make_unique<interval::IntervalCollector>(
+            hierarchy.l2().num_frames(), &result.l2cache->intervals,
+            config.keep_raw);
+        listener.set_l2_collector(l2collector.get());
+    }
+
+    cpu::InOrderCore core(config.core, &hierarchy, &workload, &listener);
+    result.core = core.run(config.instructions);
+
+    icollector.finalize(result.core.cycles);
+    dcollector.finalize(result.core.cycles);
+    if (l2collector) {
+        l2collector->finalize(result.core.cycles);
+        if (config.keep_raw)
+            result.l2cache->raw = l2collector->raw();
+        result.l2cache->stats = hierarchy.l2().stats();
+    }
+    if (config.keep_raw) {
+        result.icache.raw = icollector.raw();
+        result.dcache.raw = dcollector.raw();
+    }
+
+    result.icache.stats = hierarchy.l1i().stats();
+    result.dcache.stats = hierarchy.l1d().stats();
+    result.l2 = hierarchy.l2().stats();
+
+    util::debug("experiment '", result.workload, "': ",
+                result.core.instructions, " instrs, ", result.core.cycles,
+                " cycles, ipc=", result.core.ipc());
+    return result;
+}
+
+std::vector<ExperimentResult>
+run_suite(const std::vector<std::string> &names,
+          const ExperimentConfig &config)
+{
+    std::vector<ExperimentResult> results;
+    results.reserve(names.size());
+    for (const std::string &name : names) {
+        workload::WorkloadPtr w = workload::make_benchmark(name);
+        util::inform("simulating ", name, " (",
+                     config.instructions, " instructions)");
+        results.push_back(run_experiment(*w, config));
+    }
+    return results;
+}
+
+} // namespace leakbound::core

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * End-to-end experiment runner: executes a workload on the timing core
+ * over the Alpha-like hierarchy, collecting the instruction- and
+ * data-cache interval populations (with prefetchability annotations)
+ * that every bench evaluates policies against.
+ */
+
+#ifndef LEAKBOUND_CORE_EXPERIMENT_HPP
+#define LEAKBOUND_CORE_EXPERIMENT_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cpu/inorder_core.hpp"
+#include "interval/interval_histogram.hpp"
+#include "prefetch/stride.hpp"
+#include "sim/hierarchy.hpp"
+#include "workload/workload.hpp"
+
+namespace leakbound::core {
+
+/** Knobs of one simulation run. */
+struct ExperimentConfig
+{
+    /** Dynamic instructions to execute per benchmark. */
+    std::uint64_t instructions = 8'000'000;
+    /** Memory system (defaults to the paper's Alpha-like hierarchy). */
+    sim::HierarchyConfig hierarchy;
+    /** Core shape (defaults to 4-wide). */
+    cpu::CoreConfig core;
+    /** Stride predictor shape (defaults to a 4K-entry table). */
+    prefetch::StrideConfig stride;
+    /**
+     * Extra histogram edges beyond the defaults; pass every decision
+     * threshold of every policy you will evaluate (or use
+     * standard_extra_edges(), which covers all stock experiments).
+     */
+    std::vector<Cycles> extra_edges;
+    /** Also retain raw intervals (memory-heavy; tests only). */
+    bool keep_raw = false;
+    /**
+     * Timeliness requirement for next-line coverage: the trigger
+     * access must precede the covered access by this many cycles.
+     * 0 reproduces the paper's accounting.
+     */
+    Cycles nl_lead_time = 0;
+    /**
+     * Also collect the unified L2's interval population (the paper
+     * studies the L1s; the L2 is the chip's biggest leaker and the
+     * extension bench applies the same bound to it).  Costs one more
+     * collector over 32K frames.
+     */
+    bool collect_l2 = false;
+};
+
+/** What one cache yielded. */
+struct CacheObservation
+{
+    interval::IntervalHistogramSet intervals;
+    std::vector<interval::Interval> raw; ///< empty unless keep_raw
+    sim::CacheStats stats;
+
+    explicit CacheObservation(interval::IntervalHistogramSet set)
+        : intervals(std::move(set))
+    {
+    }
+};
+
+/** Everything one run produced. */
+struct ExperimentResult
+{
+    std::string workload;
+    cpu::CoreRunStats core;
+    CacheObservation icache;
+    CacheObservation dcache;
+    /** Populated only when ExperimentConfig::collect_l2 was set. */
+    std::optional<CacheObservation> l2cache;
+    sim::CacheStats l2;
+
+    ExperimentResult(CacheObservation ic, CacheObservation dc)
+        : icache(std::move(ic)), dcache(std::move(dc))
+    {
+    }
+};
+
+/**
+ * Thresholds of every policy any stock bench evaluates, across all
+ * four paper technology nodes, the Fig. 7 sweep, the 10K decay point
+ * and the decay-sweep ablation.  Union them into
+ * ExperimentConfig::extra_edges so one simulation serves them all.
+ */
+std::vector<Cycles> standard_extra_edges();
+
+/** Run @p workload under @p config and collect both caches. */
+ExperimentResult run_experiment(workload::Workload &workload,
+                                const ExperimentConfig &config);
+
+/** Run a list of benchmarks from the suite (workload::make_benchmark). */
+std::vector<ExperimentResult>
+run_suite(const std::vector<std::string> &names,
+          const ExperimentConfig &config);
+
+} // namespace leakbound::core
+
+#endif // LEAKBOUND_CORE_EXPERIMENT_HPP

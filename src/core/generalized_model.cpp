@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Implementation of the generalized model.
+ */
+
+#include "core/generalized_model.hpp"
+
+#include "core/policies.hpp"
+
+namespace leakbound::core {
+
+std::vector<Cycles>
+generalized_model_thresholds(const GeneralizedModelInputs &inputs)
+{
+    const EnergyModel model(inputs.tech);
+    const InflectionPoints points = compute_inflection(model);
+
+    std::vector<Cycles> out;
+    auto absorb = [&out](const PolicyPtr &policy) {
+        for (Cycles t : policy->thresholds())
+            out.push_back(t);
+    };
+    absorb(make_opt_drowsy(model, inputs.charge_refetch));
+    absorb(make_opt_sleep(model, points.drowsy_sleep,
+                          inputs.charge_refetch));
+    absorb(make_opt_hybrid(model, inputs.charge_refetch));
+    return out;
+}
+
+GeneralizedModelResult
+run_generalized_model(const GeneralizedModelInputs &inputs,
+                      const interval::IntervalHistogramSet &set)
+{
+    const EnergyModel model(inputs.tech);
+
+    GeneralizedModelResult result;
+    result.points = compute_inflection(model);
+    result.opt_drowsy = evaluate_policy(
+        *make_opt_drowsy(model, inputs.charge_refetch), set);
+    result.opt_sleep = evaluate_policy(
+        *make_opt_sleep(model, result.points.drowsy_sleep,
+                        inputs.charge_refetch),
+        set);
+    result.opt_hybrid = evaluate_policy(
+        *make_opt_hybrid(model, inputs.charge_refetch), set);
+    return result;
+}
+
+} // namespace leakbound::core

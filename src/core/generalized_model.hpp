@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The generalized model for optimal leakage power savings (paper
+ * Section 3.3).
+ *
+ * All individual assumptions — transition durations, per-mode leakage
+ * powers, the induced-miss energy, and the interval population — enter
+ * as explicit inputs; the outputs are the inflection points and the
+ * optimal saving percentages of the OPT-Drowsy, OPT-Sleep and
+ * OPT-Hybrid methods.  This is the library analogue of the "coded in C
+ * and publicly available" model the paper describes, and the engine
+ * behind the Table 2 reproduction.
+ */
+
+#ifndef LEAKBOUND_CORE_GENERALIZED_MODEL_HPP
+#define LEAKBOUND_CORE_GENERALIZED_MODEL_HPP
+
+#include <vector>
+
+#include "core/inflection.hpp"
+#include "core/savings.hpp"
+#include "interval/interval_histogram.hpp"
+#include "power/technology.hpp"
+
+namespace leakbound::core {
+
+/** Inputs of the generalized model. */
+struct GeneralizedModelInputs
+{
+    power::TechnologyParams tech;
+    /** Paper accounting (CD on every slept inner interval) when true. */
+    bool charge_refetch = true;
+};
+
+/** Outputs: inflection points + the three optimal saving results. */
+struct GeneralizedModelResult
+{
+    InflectionPoints points;
+    SavingsResult opt_drowsy;
+    SavingsResult opt_sleep;  ///< aggressive: sleeps everything above b
+    SavingsResult opt_hybrid;
+};
+
+/**
+ * Every histogram edge the model's three policies need for exact
+ * evaluation; pass to IntervalHistogramSet::default_edges as extras
+ * before collecting intervals.
+ */
+std::vector<Cycles>
+generalized_model_thresholds(const GeneralizedModelInputs &inputs);
+
+/**
+ * Run the model on an interval population.  The set's edges must cover
+ * generalized_model_thresholds(inputs) (panics otherwise).
+ */
+GeneralizedModelResult
+run_generalized_model(const GeneralizedModelInputs &inputs,
+                      const interval::IntervalHistogramSet &set);
+
+} // namespace leakbound::core
+
+#endif // LEAKBOUND_CORE_GENERALIZED_MODEL_HPP

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Implementation of the inflection point solver.
+ */
+
+#include "core/inflection.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace leakbound::core {
+
+InflectionPoints
+compute_inflection(const power::TechnologyParams &tech)
+{
+    return compute_inflection(EnergyModel(tech));
+}
+
+InflectionPoints
+compute_inflection(const EnergyModel &model)
+{
+    using interval::IntervalKind;
+
+    const auto &tech = model.tech();
+    InflectionPoints points;
+    points.active_drowsy = tech.timings.drowsy_overhead();
+
+    const LinearEnergy drowsy =
+        model.linear(Mode::Drowsy, IntervalKind::Inner);
+    const LinearEnergy sleep =
+        model.linear(Mode::Sleep, IntervalKind::Inner,
+                     /*charge_refetch=*/true);
+
+    // E_sleep(b) = E_drowsy(b):
+    //   sleep.slope*b + sleep.intercept = drowsy.slope*b + drowsy.icept
+    const double slope_gap = drowsy.slope - sleep.slope; // P_D - P_S
+    if (slope_gap <= 0.0) {
+        // Sleep never recovers its overhead against drowsy; the
+        // crossing is at infinity.
+        points.drowsy_sleep =
+            std::numeric_limits<Cycles>::max();
+        points.drowsy_sleep_exact =
+            std::numeric_limits<double>::infinity();
+        return points;
+    }
+
+    const double b = (sleep.intercept - drowsy.intercept) / slope_gap;
+    points.drowsy_sleep_exact = b;
+    if (b <= 0.0) {
+        // Degenerate: sleep dominates everywhere it fits.
+        points.drowsy_sleep = model.min_length(Mode::Sleep,
+                                               IntervalKind::Inner);
+    } else {
+        points.drowsy_sleep = static_cast<Cycles>(std::llround(b));
+    }
+
+    LEAKBOUND_ASSERT(points.drowsy_sleep > points.active_drowsy,
+                     "Lemma 1 violated: a=", points.active_drowsy,
+                     " >= b=", points.drowsy_sleep, " for technology ",
+                     tech.name);
+    return points;
+}
+
+} // namespace leakbound::core

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Inflection point computation (paper Section 3.2 / Table 1).
+ *
+ * Two interval lengths partition the optimal policy:
+ *
+ *  - the active-drowsy point `a = d1 + d3`: below it the drowsy
+ *    transitions do not fit, so the line must stay active;
+ *  - the drowsy-sleep point `b`, the length at which a sleep interval
+ *    and a drowsy interval dissipate the same energy (Eq. 3).
+ *
+ * With the linear forms of core::EnergyModel,
+ *    b = (K_S + CD - K_D) / (P_D - P_S).
+ */
+
+#ifndef LEAKBOUND_CORE_INFLECTION_HPP
+#define LEAKBOUND_CORE_INFLECTION_HPP
+
+#include <limits>
+
+#include "core/energy_model.hpp"
+#include "power/technology.hpp"
+#include "util/types.hpp"
+
+namespace leakbound::core {
+
+/** The two inflection points of one technology node. */
+struct InflectionPoints
+{
+    /** Active-drowsy point `a` in cycles (paper value: 6). */
+    Cycles active_drowsy = 0;
+    /** Drowsy-sleep point `b`, rounded to the nearest cycle. */
+    Cycles drowsy_sleep = 0;
+    /** Exact real-valued solution of Eq. 3 (infinite if sleep never
+     *  beats drowsy, i.e. P_S >= P_D). */
+    double drowsy_sleep_exact = std::numeric_limits<double>::infinity();
+};
+
+/** Solve paper Eq. 3 for a technology node's inflection points. */
+InflectionPoints compute_inflection(const power::TechnologyParams &tech);
+
+/** Convenience overload on an already-built energy model. */
+InflectionPoints compute_inflection(const EnergyModel &model);
+
+} // namespace leakbound::core
+
+#endif // LEAKBOUND_CORE_INFLECTION_HPP

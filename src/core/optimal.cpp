@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Implementation of the Figure 5 optimal-saving accumulation.
+ */
+
+#include "core/optimal.hpp"
+
+namespace leakbound::core {
+
+using interval::Interval;
+using interval::IntervalKind;
+
+OptimalSaving
+optimal_leakage(const EnergyModel &model, const InflectionPoints &points,
+                const std::vector<Interval> &intervals)
+{
+    OptimalSaving out;
+    for (const Interval &iv : intervals) {
+        const Energy active =
+            model.energy(Mode::Active, iv.length, iv.kind);
+        // Figure 5: if |Ii| > b -> sleep_saving; else if |Ii| > a ->
+        // drowsy_saving; else no saving.  Kind-specific applicability
+        // guards keep the transcription honest for the boundary
+        // interval kinds (e.g. a trailing interval shorter than s1).
+        if (iv.length > points.drowsy_sleep &&
+            model.applicable(Mode::Sleep, iv.length, iv.kind)) {
+            const Energy saved =
+                active - model.energy(Mode::Sleep, iv.length, iv.kind);
+            out.sleep_saving += saved;
+            out.total_saving += saved;
+            ++out.slept;
+        } else if (iv.length > points.active_drowsy &&
+                   model.applicable(Mode::Drowsy, iv.length, iv.kind)) {
+            const Energy saved =
+                active - model.energy(Mode::Drowsy, iv.length, iv.kind);
+            out.drowsy_saving += saved;
+            out.total_saving += saved;
+            ++out.drowsed;
+        } else {
+            // No leakage power saving can be obtained.
+            ++out.active;
+        }
+    }
+    return out;
+}
+
+} // namespace leakbound::core

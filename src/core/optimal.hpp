@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Direct transcription of the paper's Figure 5 algorithm and Appendix
+ * theorem: given a set of intervals and the two inflection points,
+ * accumulate the optimal leakage power saving interval by interval.
+ *
+ * The policy machinery (core/policies.hpp + core/savings.hpp)
+ * supersedes this for experiments; this module exists as the paper's
+ * literal artifact and as an independent cross-check used in tests.
+ */
+
+#ifndef LEAKBOUND_CORE_OPTIMAL_HPP
+#define LEAKBOUND_CORE_OPTIMAL_HPP
+
+#include <vector>
+
+#include "core/energy_model.hpp"
+#include "core/inflection.hpp"
+#include "interval/interval.hpp"
+
+namespace leakbound::core {
+
+/** Output of optimal_leakage(): total saving and its decomposition. */
+struct OptimalSaving
+{
+    Energy total_saving = 0.0;  ///< LU·cycles saved vs all-active
+    Energy sleep_saving = 0.0;  ///< portion from slept intervals
+    Energy drowsy_saving = 0.0; ///< portion from drowsed intervals
+    std::uint64_t slept = 0;    ///< intervals put to sleep
+    std::uint64_t drowsed = 0;  ///< intervals put into drowsy mode
+    std::uint64_t active = 0;   ///< intervals left active
+};
+
+/**
+ * The Figure 5 algorithm: for every interval Ii, apply sleep when
+ * |Ii| > b, drowsy when |Ii| > a, nothing otherwise, and accumulate
+ * the savings.  Interval kinds are honoured the same way the policy
+ * evaluator does (Inner intervals pay CD on sleep, etc.).
+ *
+ * @param model energy model of the technology under study
+ * @param points inflection points (pass compute_inflection(model))
+ * @param intervals the interval population I
+ */
+OptimalSaving optimal_leakage(const EnergyModel &model,
+                              const InflectionPoints &points,
+                              const std::vector<interval::Interval> &intervals);
+
+} // namespace leakbound::core
+
+#endif // LEAKBOUND_CORE_OPTIMAL_HPP

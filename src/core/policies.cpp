@@ -1,0 +1,733 @@
+/**
+ * @file
+ * Implementation of the paper's leakage management schemes.
+ */
+
+#include "core/policies.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hpp"
+
+namespace leakbound::core {
+
+using interval::IntervalKind;
+using interval::PrefetchClass;
+
+namespace {
+
+constexpr Cycles kNever = std::numeric_limits<Cycles>::max();
+
+/** The four interval kinds, for threshold enumeration. */
+constexpr IntervalKind kKinds[] = {
+    IntervalKind::Inner, IntervalKind::Leading, IntervalKind::Trailing,
+    IntervalKind::Untouched};
+
+/**
+ * Smallest integer length >= @p min_len at which @p candidate costs no
+ * more than @p incumbent; kNever if that never happens.  Assumes both
+ * are linear; candidate must eventually win via a smaller slope (or
+ * already win at min_len).
+ */
+Cycles
+cross_at(const LinearEnergy &incumbent, const LinearEnergy &candidate,
+         Cycles min_len)
+{
+    if (candidate.at(min_len) <= incumbent.at(min_len))
+        return min_len;
+    if (candidate.slope >= incumbent.slope)
+        return kNever;
+    const double x = (candidate.intercept - incumbent.intercept) /
+                     (incumbent.slope - candidate.slope);
+    const double ceiled = std::ceil(x);
+    if (ceiled >= 1.8e19) // beyond u64; treat as never
+        return kNever;
+    const auto length = static_cast<Cycles>(ceiled);
+    return std::max(min_len, length);
+}
+
+/** Append @p v and @p v+1 to @p out unless v is the kNever sentinel. */
+void
+push_boundary(std::vector<Cycles> &out, Cycles v)
+{
+    if (v == kNever)
+        return;
+    out.push_back(v);
+    if (v != kNever - 1)
+        out.push_back(v + 1);
+}
+
+/** Shared plumbing: energy model + re-fetch accounting flag. */
+class PolicyBase : public Policy
+{
+  public:
+    PolicyBase(const EnergyModel &model, bool charge_refetch)
+        : model_(model), charge_(charge_refetch)
+    {
+    }
+
+  protected:
+    /**
+     * Whether a slept interval of this shape pays CD.  Under the
+     * paper's accounting (charge_ == true) every slept Inner interval
+     * pays; under the dead-block ablation only reuse-ending ones do.
+     * (The energy model already exempts non-Inner kinds.)
+     */
+    bool
+    charge_cd(bool ends_in_reuse) const
+    {
+        return charge_ || ends_in_reuse;
+    }
+
+    /** Both CD variants this policy can exercise, for thresholds(). */
+    std::vector<bool>
+    cd_variants() const
+    {
+        if (charge_)
+            return {true};
+        return {true, false};
+    }
+
+    EnergyModel model_;
+    bool charge_;
+};
+
+// ---------------------------------------------------------------------
+// AlwaysActive
+// ---------------------------------------------------------------------
+
+class AlwaysActivePolicy final : public PolicyBase
+{
+  public:
+    explicit AlwaysActivePolicy(const EnergyModel &model)
+        : PolicyBase(model, true)
+    {
+    }
+
+    std::string name() const override { return "AlwaysActive"; }
+
+    Energy
+    interval_energy(Cycles length, IntervalKind kind, PrefetchClass,
+                    bool) const override
+    {
+        return model_.energy(Mode::Active, length, kind);
+    }
+
+    std::vector<Cycles> thresholds() const override { return {}; }
+
+    Mode
+    dominant_mode(Cycles, IntervalKind, PrefetchClass, bool) const override
+    {
+        return Mode::Active;
+    }
+
+    bool is_oracle() const override { return false; }
+};
+
+// ---------------------------------------------------------------------
+// OPT-Drowsy
+// ---------------------------------------------------------------------
+
+class OptDrowsyPolicy final : public PolicyBase
+{
+  public:
+    OptDrowsyPolicy(const EnergyModel &model, bool charge_refetch)
+        : PolicyBase(model, charge_refetch)
+    {
+    }
+
+    std::string name() const override { return "OPT-Drowsy"; }
+
+    Energy
+    interval_energy(Cycles length, IntervalKind kind, PrefetchClass,
+                    bool) const override
+    {
+        const Energy active = model_.energy(Mode::Active, length, kind);
+        if (!model_.applicable(Mode::Drowsy, length, kind))
+            return active;
+        const Energy drowsy = model_.energy(Mode::Drowsy, length, kind);
+        return std::min(active, drowsy);
+    }
+
+    std::vector<Cycles>
+    thresholds() const override
+    {
+        std::vector<Cycles> out;
+        const LinearEnergy active = model_.linear(Mode::Active,
+                                                  IntervalKind::Inner);
+        for (IntervalKind kind : kKinds) {
+            push_boundary(out,
+                          cross_at(active, model_.linear(Mode::Drowsy, kind),
+                                   model_.min_length(Mode::Drowsy, kind)));
+        }
+        return out;
+    }
+
+    Mode
+    dominant_mode(Cycles length, IntervalKind kind, PrefetchClass,
+                  bool) const override
+    {
+        if (model_.applicable(Mode::Drowsy, length, kind) &&
+            model_.energy(Mode::Drowsy, length, kind) <=
+                model_.energy(Mode::Active, length, kind)) {
+            return Mode::Drowsy;
+        }
+        return Mode::Active;
+    }
+
+    bool is_oracle() const override { return true; }
+};
+
+// ---------------------------------------------------------------------
+// OPT-Sleep(T)
+// ---------------------------------------------------------------------
+
+class OptSleepPolicy final : public PolicyBase
+{
+  public:
+    OptSleepPolicy(const EnergyModel &model, Cycles min_sleep,
+                   bool charge_refetch)
+        : PolicyBase(model, charge_refetch), min_sleep_(min_sleep)
+    {
+    }
+
+    std::string
+    name() const override
+    {
+        return "OPT-Sleep(" + pretty_cycles(min_sleep_) + ")";
+    }
+
+    Energy
+    interval_energy(Cycles length, IntervalKind kind, PrefetchClass,
+                    bool ends_in_reuse) const override
+    {
+        const Energy active = model_.energy(Mode::Active, length, kind);
+        if (!sleeps(length, kind, ends_in_reuse))
+            return active;
+        return model_.energy(Mode::Sleep, length, kind,
+                             charge_cd(ends_in_reuse));
+    }
+
+    std::vector<Cycles>
+    thresholds() const override
+    {
+        std::vector<Cycles> out;
+        for (IntervalKind kind : kKinds) {
+            const LinearEnergy active = model_.linear(Mode::Active, kind);
+            for (bool cd : cd_variants()) {
+                const Cycles start = sleep_start(kind, cd);
+                push_boundary(out, start);
+            }
+            (void)active;
+        }
+        return out;
+    }
+
+    Mode
+    dominant_mode(Cycles length, IntervalKind kind, PrefetchClass,
+                  bool ends_in_reuse) const override
+    {
+        return sleeps(length, kind, ends_in_reuse) ? Mode::Sleep
+                                                   : Mode::Active;
+    }
+
+    bool is_oracle() const override { return true; }
+
+    /** "10000" -> "10K" for familiar scheme names. */
+    static std::string
+    pretty_cycles(Cycles v)
+    {
+        if (v != 0 && v % 1000 == 0)
+            return std::to_string(v / 1000) + "K";
+        return std::to_string(v);
+    }
+
+  private:
+    /** First length at which the scheme actually sleeps. */
+    Cycles
+    sleep_start(IntervalKind kind, bool cd) const
+    {
+        const LinearEnergy active = model_.linear(Mode::Active, kind);
+        const LinearEnergy sleep = model_.linear(Mode::Sleep, kind, cd);
+        const Cycles viable =
+            cross_at(active, sleep, model_.min_length(Mode::Sleep, kind));
+        if (viable == kNever)
+            return kNever;
+        // "interval of a size greater than T": L >= T + 1.
+        return std::max(viable, min_sleep_ == kNever ? kNever
+                                                     : min_sleep_ + 1);
+    }
+
+    bool
+    sleeps(Cycles length, IntervalKind kind, bool ends_in_reuse) const
+    {
+        return length >= sleep_start(kind, charge_cd(ends_in_reuse));
+    }
+
+    Cycles min_sleep_;
+};
+
+// ---------------------------------------------------------------------
+// Sleep(T): non-oracle cache decay
+// ---------------------------------------------------------------------
+
+class DecaySleepPolicy final : public PolicyBase
+{
+  public:
+    DecaySleepPolicy(const EnergyModel &model, Cycles decay_interval,
+                     bool charge_refetch)
+        : PolicyBase(model, charge_refetch), decay_(decay_interval)
+    {
+    }
+
+    std::string
+    name() const override
+    {
+        return "Sleep(" + OptSleepPolicy::pretty_cycles(decay_) + ")";
+    }
+
+    Energy
+    interval_energy(Cycles length, IntervalKind kind, PrefetchClass,
+                    bool ends_in_reuse) const override
+    {
+        if (!decays(length, kind)) {
+            return model_.energy(Mode::Active, length, kind);
+        }
+        // Active for the decay window, then the remainder behaves like
+        // a sleep interval of the same kind (entry transition, and for
+        // Inner the wakeup + induced re-fetch at the closing access).
+        const Cycles remainder = length - decay_;
+        return model_.tech().active_power * static_cast<double>(decay_) +
+               model_.energy(Mode::Sleep, remainder, kind,
+                             charge_cd(ends_in_reuse));
+    }
+
+    std::vector<Cycles>
+    thresholds() const override
+    {
+        std::vector<Cycles> out;
+        for (IntervalKind kind : kKinds)
+            push_boundary(out, fire_length(kind));
+        return out;
+    }
+
+    Mode
+    dominant_mode(Cycles length, IntervalKind kind, PrefetchClass,
+                  bool) const override
+    {
+        // Report Sleep whenever the decay fires: the tally then counts
+        // decayed intervals (and induced misses) exactly, and stays
+        // piecewise-constant between the published thresholds, which
+        // the histogram evaluator requires.
+        return decays(length, kind) ? Mode::Sleep : Mode::Active;
+    }
+
+    Power
+    standing_overhead() const override
+    {
+        return model_.tech().decay_counter_overhead;
+    }
+
+    bool is_oracle() const override { return false; }
+
+  private:
+    /** Shortest interval in which the decayed sleep sequence fits. */
+    Cycles
+    fire_length(IntervalKind kind) const
+    {
+        const Cycles m =
+            std::max<Cycles>(model_.min_length(Mode::Sleep, kind), 1);
+        return decay_ + m;
+    }
+
+    bool
+    decays(Cycles length, IntervalKind kind) const
+    {
+        return length >= fire_length(kind);
+    }
+
+    Cycles decay_;
+};
+
+// ---------------------------------------------------------------------
+// Hybrid(T) / OPT-Hybrid
+// ---------------------------------------------------------------------
+
+class HybridPolicy final : public PolicyBase
+{
+  public:
+    HybridPolicy(const EnergyModel &model, Cycles min_sleep,
+                 bool charge_refetch, bool is_opt)
+        : PolicyBase(model, charge_refetch), min_sleep_(min_sleep),
+          is_opt_(is_opt)
+    {
+    }
+
+    std::string
+    name() const override
+    {
+        if (is_opt_)
+            return "OPT-Hybrid";
+        return "Hybrid(" + OptSleepPolicy::pretty_cycles(min_sleep_) + ")";
+    }
+
+    Energy
+    interval_energy(Cycles length, IntervalKind kind, PrefetchClass,
+                    bool ends_in_reuse) const override
+    {
+        return choose(length, kind, ends_in_reuse).second;
+    }
+
+    std::vector<Cycles>
+    thresholds() const override
+    {
+        std::vector<Cycles> out;
+        for (IntervalKind kind : kKinds) {
+            const LinearEnergy active = model_.linear(Mode::Active, kind);
+            const LinearEnergy drowsy = model_.linear(Mode::Drowsy, kind);
+            const Cycles min_d = model_.min_length(Mode::Drowsy, kind);
+            const Cycles min_s = model_.min_length(Mode::Sleep, kind);
+            push_boundary(out, cross_at(active, drowsy, min_d));
+            for (bool cd : cd_variants()) {
+                const LinearEnergy sleep =
+                    model_.linear(Mode::Sleep, kind, cd);
+                // Sleep can start where it beats active or drowsy, but
+                // never below min_sleep_+1; emit a generous superset.
+                for (Cycles c : {cross_at(active, sleep, min_s),
+                                 cross_at(drowsy, sleep, min_s)}) {
+                    if (c == kNever)
+                        continue;
+                    push_boundary(out, c);
+                    if (min_sleep_ != kNever)
+                        push_boundary(out,
+                                      std::max(c, min_sleep_ + 1));
+                }
+            }
+        }
+        if (min_sleep_ != kNever)
+            push_boundary(out, min_sleep_);
+        return out;
+    }
+
+    Mode
+    dominant_mode(Cycles length, IntervalKind kind, PrefetchClass,
+                  bool ends_in_reuse) const override
+    {
+        return choose(length, kind, ends_in_reuse).first;
+    }
+
+    bool is_oracle() const override { return true; }
+
+  private:
+    std::pair<Mode, Energy>
+    choose(Cycles length, IntervalKind kind, bool ends_in_reuse) const
+    {
+        Mode best = Mode::Active;
+        Energy best_energy = model_.energy(Mode::Active, length, kind);
+        if (model_.applicable(Mode::Drowsy, length, kind)) {
+            const Energy e = model_.energy(Mode::Drowsy, length, kind);
+            if (e <= best_energy) {
+                best = Mode::Drowsy;
+                best_energy = e;
+            }
+        }
+        if (length > min_sleep_ &&
+            model_.applicable(Mode::Sleep, length, kind)) {
+            const Energy e = model_.energy(Mode::Sleep, length, kind,
+                                           charge_cd(ends_in_reuse));
+            if (e <= best_energy) {
+                best = Mode::Sleep;
+                best_energy = e;
+            }
+        }
+        return {best, best_energy};
+    }
+
+    Cycles min_sleep_;
+    bool is_opt_;
+};
+
+// ---------------------------------------------------------------------
+// Periodic drowsy (Flautner-style simple policy)
+// ---------------------------------------------------------------------
+
+class PeriodicDrowsyPolicy final : public PolicyBase
+{
+  public:
+    PeriodicDrowsyPolicy(const EnergyModel &model, Cycles window,
+                         bool charge_refetch)
+        : PolicyBase(model, charge_refetch), window_(window)
+    {
+    }
+
+    std::string
+    name() const override
+    {
+        return "Drowsy(" + OptSleepPolicy::pretty_cycles(window_) + ")";
+    }
+
+    Energy
+    interval_energy(Cycles length, IntervalKind kind, PrefetchClass,
+                    bool) const override
+    {
+        const Cycles wait = expected_wait(kind);
+        if (length < wait + model_.min_length(Mode::Drowsy, kind))
+            return model_.energy(Mode::Active, length, kind);
+        // Active until the window boundary, drowsy for the remainder
+        // (which behaves like a drowsy interval of the same kind).
+        return model_.tech().active_power * static_cast<double>(wait) +
+               model_.energy(Mode::Drowsy, length - wait, kind);
+    }
+
+    std::vector<Cycles>
+    thresholds() const override
+    {
+        std::vector<Cycles> out;
+        for (IntervalKind k : kKinds) {
+            push_boundary(out, expected_wait(k) +
+                                   model_.min_length(Mode::Drowsy, k));
+        }
+        return out;
+    }
+
+    Mode
+    dominant_mode(Cycles length, IntervalKind kind, PrefetchClass,
+                  bool) const override
+    {
+        const Cycles wait = expected_wait(kind);
+        if (length < wait + model_.min_length(Mode::Drowsy, kind))
+            return Mode::Active;
+        return Mode::Drowsy;
+    }
+
+    bool is_oracle() const override { return false; }
+
+  private:
+    /** Expected cycles until the next global drowse event. */
+    Cycles
+    expected_wait(IntervalKind kind) const
+    {
+        // Invalid frames are already drowsed when the run starts.
+        if (kind == IntervalKind::Leading ||
+            kind == IntervalKind::Untouched) {
+            return 0;
+        }
+        return window_ / 2;
+    }
+
+    Cycles window_;
+};
+
+// ---------------------------------------------------------------------
+// Prefetch-A / Prefetch-B
+// ---------------------------------------------------------------------
+
+class PrefetchPolicy final : public PolicyBase
+{
+  public:
+    PrefetchPolicy(const EnergyModel &model, PrefetchVariant variant,
+                   std::vector<PrefetchClass> allowed, bool charge_refetch)
+        : PolicyBase(model, charge_refetch), variant_(variant),
+          allowed_(std::move(allowed))
+    {
+        // A keeps non-prefetchable intervals active always; B drowses
+        // them whenever drowsy wins (threshold = the active-drowsy
+        // point, i.e. "as soon as possible").
+        np_drowsy_threshold_ =
+            variant == PrefetchVariant::A
+                ? kNever
+                : model_.tech().timings.drowsy_overhead();
+    }
+
+    /** Blend constructor: explicit non-prefetchable drowsy threshold. */
+    PrefetchPolicy(const EnergyModel &model, Cycles np_drowsy_threshold,
+                   std::vector<PrefetchClass> allowed, bool charge_refetch)
+        : PolicyBase(model, charge_refetch), variant_(PrefetchVariant::B),
+          allowed_(std::move(allowed)), blend_(true),
+          np_drowsy_threshold_(std::max<Cycles>(
+              np_drowsy_threshold,
+              model_.tech().timings.drowsy_overhead()))
+    {
+    }
+
+    std::string
+    name() const override
+    {
+        if (blend_) {
+            return "Prefetch-C(" +
+                   (np_drowsy_threshold_ == kNever
+                        ? std::string("inf")
+                        : OptSleepPolicy::pretty_cycles(
+                              np_drowsy_threshold_)) +
+                   ")";
+        }
+        return variant_ == PrefetchVariant::A ? "Prefetch-A" : "Prefetch-B";
+    }
+
+    Energy
+    interval_energy(Cycles length, IntervalKind kind, PrefetchClass pf,
+                    bool ends_in_reuse) const override
+    {
+        return choose(length, kind, pf, ends_in_reuse).second;
+    }
+
+    std::vector<Cycles>
+    thresholds() const override
+    {
+        // The prefetchable branch is the full optimal envelope; the
+        // non-prefetchable branch is active or the drowsy envelope
+        // gated at np_drowsy_threshold_.  Reuse HybridPolicy's
+        // generous boundary enumeration plus the drowsy crossings.
+        HybridPolicy envelope(model_, 0, charge_, /*is_opt=*/true);
+        std::vector<Cycles> out = envelope.thresholds();
+        const LinearEnergy active =
+            model_.linear(Mode::Active, IntervalKind::Inner);
+        for (IntervalKind kind : kKinds) {
+            const Cycles cross =
+                cross_at(active, model_.linear(Mode::Drowsy, kind),
+                         model_.min_length(Mode::Drowsy, kind));
+            push_boundary(out, cross);
+            if (cross != kNever && np_drowsy_threshold_ != kNever) {
+                push_boundary(out,
+                              std::max(cross, np_drowsy_threshold_));
+            }
+        }
+        return out;
+    }
+
+    Mode
+    dominant_mode(Cycles length, IntervalKind kind, PrefetchClass pf,
+                  bool ends_in_reuse) const override
+    {
+        return choose(length, kind, pf, ends_in_reuse).first;
+    }
+
+    bool is_oracle() const override { return false; }
+
+  private:
+    bool
+    covered(PrefetchClass pf) const
+    {
+        return std::find(allowed_.begin(), allowed_.end(), pf) !=
+               allowed_.end();
+    }
+
+    std::pair<Mode, Energy>
+    choose(Cycles length, IntervalKind kind, PrefetchClass pf,
+           bool ends_in_reuse) const
+    {
+        const bool cd = charge_cd(ends_in_reuse);
+        // Invalid frames (nothing resident yet) can be gated with no
+        // prediction at all.
+        if (kind == IntervalKind::Leading ||
+            kind == IntervalKind::Untouched) {
+            const Mode m = model_.optimal_mode(length, kind, cd);
+            return {m, model_.energy(m, length, kind, cd)};
+        }
+        // Prefetch-coverable intervals get the oracle-optimal mode;
+        // the prefetcher hides the wakeup/re-fetch latency.
+        if (kind == IntervalKind::Inner && covered(pf)) {
+            const Mode m = model_.optimal_mode(length, kind, cd);
+            return {m, model_.energy(m, length, kind, cd)};
+        }
+        // Non-prefetchable (and all trailing) intervals: drowsy only
+        // beyond the blend threshold (A = never, B = wherever it wins).
+        const Energy active = model_.energy(Mode::Active, length, kind);
+        if (np_drowsy_threshold_ != kNever &&
+            length >= np_drowsy_threshold_ &&
+            model_.applicable(Mode::Drowsy, length, kind)) {
+            const Energy drowsy =
+                model_.energy(Mode::Drowsy, length, kind);
+            if (drowsy <= active)
+                return {Mode::Drowsy, drowsy};
+        }
+        return {Mode::Active, active};
+    }
+
+    PrefetchVariant variant_;
+    std::vector<PrefetchClass> allowed_;
+    bool blend_ = false;
+    Cycles np_drowsy_threshold_ = kNever;
+};
+
+} // namespace
+
+PolicyPtr
+make_always_active(const EnergyModel &model)
+{
+    return std::make_unique<AlwaysActivePolicy>(model);
+}
+
+PolicyPtr
+make_opt_drowsy(const EnergyModel &model, bool charge_refetch)
+{
+    return std::make_unique<OptDrowsyPolicy>(model, charge_refetch);
+}
+
+PolicyPtr
+make_opt_sleep(const EnergyModel &model, Cycles min_sleep_length,
+               bool charge_refetch)
+{
+    return std::make_unique<OptSleepPolicy>(model, min_sleep_length,
+                                            charge_refetch);
+}
+
+PolicyPtr
+make_decay_sleep(const EnergyModel &model, Cycles decay_interval,
+                 bool charge_refetch)
+{
+    LEAKBOUND_ASSERT(decay_interval > 0, "decay interval must be nonzero");
+    return std::make_unique<DecaySleepPolicy>(model, decay_interval,
+                                              charge_refetch);
+}
+
+PolicyPtr
+make_hybrid(const EnergyModel &model, Cycles min_sleep_length,
+            bool charge_refetch)
+{
+    return std::make_unique<HybridPolicy>(model, min_sleep_length,
+                                          charge_refetch,
+                                          /*is_opt=*/false);
+}
+
+PolicyPtr
+make_opt_hybrid(const EnergyModel &model, bool charge_refetch)
+{
+    // OPT-Hybrid is the unconstrained lower envelope; a minimum sleep
+    // length of 0 lets sleep compete wherever it fits.
+    return std::make_unique<HybridPolicy>(model, 0, charge_refetch,
+                                          /*is_opt=*/true);
+}
+
+PolicyPtr
+make_periodic_drowsy(const EnergyModel &model, Cycles window,
+                     bool charge_refetch)
+{
+    LEAKBOUND_ASSERT(window > 0, "drowsy window must be nonzero");
+    return std::make_unique<PeriodicDrowsyPolicy>(model, window,
+                                                  charge_refetch);
+}
+
+PolicyPtr
+make_prefetch(const EnergyModel &model, PrefetchVariant variant,
+              std::vector<interval::PrefetchClass> allowed,
+              bool charge_refetch)
+{
+    return std::make_unique<PrefetchPolicy>(model, variant,
+                                            std::move(allowed),
+                                            charge_refetch);
+}
+
+PolicyPtr
+make_prefetch_blend(const EnergyModel &model, Cycles drowsy_threshold,
+                    std::vector<interval::PrefetchClass> allowed,
+                    bool charge_refetch)
+{
+    return std::make_unique<PrefetchPolicy>(model, drowsy_threshold,
+                                            std::move(allowed),
+                                            charge_refetch);
+}
+
+} // namespace leakbound::core

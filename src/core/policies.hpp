@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The leakage management schemes the paper evaluates (Section 4.4):
+ *
+ *  - AlwaysActive     : baseline, no power saving
+ *  - OPT-Drowsy       : oracle drowsy-only (drowsy whenever it wins)
+ *  - OPT-Sleep(T)     : oracle sleep-only, sleeps any interval > T for
+ *                       its whole duration
+ *  - Sleep(T) (decay) : non-oracle cache-decay; stays active T cycles,
+ *                       then sleeps the remainder; pays per-line
+ *                       counter leakage (paper footnote 2)
+ *  - Hybrid(T)        : sleep above T, drowsy in (a, T] (Fig. 7 sweep);
+ *                       OPT-Hybrid is Hybrid(b), the paper's bound
+ *  - Prefetch-A/B     : non-oracle; prefetchable intervals get the
+ *                       optimal mode, non-prefetchable ones stay active
+ *                       (A) or go drowsy (B) (Table 3)
+ *
+ * Every factory takes the energy model and returns an immutable Policy.
+ * The paper's default accounting charges the re-fetch energy CD on all
+ * slept Inner intervals; pass charge_refetch=false for the dead-block
+ * ablation (skip CD when the closing access replaces the block anyway).
+ */
+
+#ifndef LEAKBOUND_CORE_POLICIES_HPP
+#define LEAKBOUND_CORE_POLICIES_HPP
+
+#include <vector>
+
+#include "core/policy.hpp"
+
+namespace leakbound::core {
+
+/** Prefetch-guided policy flavour (paper Table 3). */
+enum class PrefetchVariant {
+    A, ///< performance-first: non-prefetchable intervals stay active
+    B, ///< power-first: non-prefetchable intervals go drowsy
+};
+
+/** Baseline: every line fully active at all times (0% savings). */
+PolicyPtr make_always_active(const EnergyModel &model);
+
+/** Oracle drowsy-only: drowsy exactly where it beats active. */
+PolicyPtr make_opt_drowsy(const EnergyModel &model,
+                          bool charge_refetch = true);
+
+/**
+ * Oracle sleep-only: sleeps every interval longer than
+ * @p min_sleep_length for its entire duration (paper's OPT-Sleep uses
+ * the inflection point b; OPT-Sleep(10K) uses 10000).  Falls back to
+ * active when sleep would cost more than staying active.
+ */
+PolicyPtr make_opt_sleep(const EnergyModel &model, Cycles min_sleep_length,
+                         bool charge_refetch = true);
+
+/**
+ * Non-oracle cache decay (Kaxiras-style, paper's Sleep(10K)): the line
+ * must stay active for @p decay_interval idle cycles, then sleeps for
+ * the remainder if the sleep sequence fits.  Adds the always-on decay
+ * counter overhead from the technology parameters.
+ */
+PolicyPtr make_decay_sleep(const EnergyModel &model, Cycles decay_interval,
+                           bool charge_refetch = true);
+
+/**
+ * Oracle hybrid with a minimum sleepable length @p min_sleep_length
+ * (Fig. 7 sweep): sleep above it, otherwise drowsy wherever drowsy
+ * beats active, otherwise active.
+ */
+PolicyPtr make_hybrid(const EnergyModel &model, Cycles min_sleep_length,
+                      bool charge_refetch = true);
+
+/**
+ * The paper's OPT-Hybrid bound: the exact lower envelope of the three
+ * mode energies (equivalently Hybrid(b)).
+ */
+PolicyPtr make_opt_hybrid(const EnergyModel &model,
+                          bool charge_refetch = true);
+
+/**
+ * Non-oracle periodic drowsy cache (Flautner/Kim et al. [8], the
+ * "simple" policy): every @p window cycles, ALL lines are put into
+ * drowsy mode; a line wakes on its next access (paying the d3
+ * transition, hidden here as in [8]'s noaccess variant).  Modeled per
+ * interval: the line stays active until the next window boundary —
+ * W/2 cycles away on average — then drowses for the remainder.
+ * Intervals shorter than W/2 never reach a boundary and stay active.
+ */
+PolicyPtr make_periodic_drowsy(const EnergyModel &model, Cycles window,
+                               bool charge_refetch = true);
+
+/**
+ * Prefetch-guided scheme (paper Section 5.2, Table 3).  Intervals whose
+ * prefetch class is in @p allowed get the optimal mode for their
+ * length; the rest stay active (variant A) or go drowsy (variant B).
+ * Leading/Untouched intervals sleep (an invalid frame needs no
+ * prediction to be gated); Trailing intervals count as
+ * non-prefetchable.
+ */
+PolicyPtr make_prefetch(const EnergyModel &model, PrefetchVariant variant,
+                        std::vector<interval::PrefetchClass> allowed,
+                        bool charge_refetch = true);
+
+/**
+ * The design space the paper leaves as future work ("the best design
+ * trade-off of power and performance is somewhere in between
+ * Prefetch-A and Prefetch-B"): prefetchable intervals get the optimal
+ * mode as in both variants, and NON-prefetchable intervals go drowsy
+ * only when longer than @p drowsy_threshold cycles — each such drowse
+ * risks a 1-2 cycle wakeup stall, so the threshold dials power
+ * against performance.  drowsy_threshold = a reproduces Prefetch-B;
+ * an infinite threshold reproduces Prefetch-A.
+ */
+PolicyPtr make_prefetch_blend(const EnergyModel &model,
+                              Cycles drowsy_threshold,
+                              std::vector<interval::PrefetchClass> allowed,
+                              bool charge_refetch = true);
+
+} // namespace leakbound::core
+
+#endif // LEAKBOUND_CORE_POLICIES_HPP

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Leakage management policy interface.
+ *
+ * A policy decides, per access interval, how the cache frame spends the
+ * interval (active / drowsy / sleep / active-then-sleep for decay).
+ * Policies report the interval's total energy pointwise; the evaluator
+ * (core/savings.hpp) exploits that every policy's energy is piecewise
+ * linear in the interval length, with breakpoints published through
+ * thresholds(), to compute exact totals from histograms.
+ */
+
+#ifndef LEAKBOUND_CORE_POLICY_HPP
+#define LEAKBOUND_CORE_POLICY_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/energy_model.hpp"
+#include "interval/interval.hpp"
+#include "util/types.hpp"
+
+namespace leakbound::core {
+
+/**
+ * Abstract leakage management policy.  Implementations are stateless
+ * with respect to evaluation: interval_energy() must be a pure function
+ * of its arguments so histogram evaluation is valid.
+ */
+class Policy
+{
+  public:
+    virtual ~Policy() = default;
+
+    /** Human-readable scheme name, e.g. "OPT-Hybrid". */
+    virtual std::string name() const = 0;
+
+    /**
+     * Leakage (+ induced dynamic) energy one interval costs under this
+     * policy, in LU·cycles.
+     *
+     * Contract: piecewise linear in @p length with breakpoints only at
+     * values returned by thresholds() and at the energy model's
+     * min_length() boundaries (which are all <= 64 and covered by the
+     * default histogram edges).
+     */
+    virtual Energy interval_energy(Cycles length,
+                                   interval::IntervalKind kind,
+                                   interval::PrefetchClass pf,
+                                   bool ends_in_reuse) const = 0;
+
+    /**
+     * Every interval length at which the policy's decision (and hence
+     * its energy function's slope/intercept) may change.  Used by the
+     * evaluator to verify the histogram bin edges are fine enough for
+     * exact evaluation.
+     */
+    virtual std::vector<Cycles> thresholds() const = 0;
+
+    /**
+     * The mode the frame spends most of the interval in (for
+     * time-in-mode reporting; decay reports Sleep once it fires).
+     */
+    virtual Mode dominant_mode(Cycles length, interval::IntervalKind kind,
+                               interval::PrefetchClass pf,
+                               bool ends_in_reuse) const = 0;
+
+    /**
+     * Always-on per-frame overhead power in LU/cycle (e.g. the decay
+     * scheme's per-line counters).  Charged as overhead * frames *
+     * cycles on top of the interval energies.
+     */
+    virtual Power standing_overhead() const { return 0.0; }
+
+    /**
+     * True when the policy needs oracle knowledge of the future trace
+     * (reported in scheme tables; affects nothing else).
+     */
+    virtual bool is_oracle() const = 0;
+};
+
+/** Owning handle used throughout the experiment harness. */
+using PolicyPtr = std::unique_ptr<Policy>;
+
+} // namespace leakbound::core
+
+#endif // LEAKBOUND_CORE_POLICY_HPP

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Implementation of the Figure 6 state model simulator.
+ */
+
+#include "core/state_model.hpp"
+
+#include "util/logging.hpp"
+
+namespace leakbound::core {
+
+using interval::IntervalKind;
+
+TransitionEnergies
+transition_energies(const power::TechnologyParams &tech,
+                    bool charge_refetch)
+{
+    const auto &t = tech.timings;
+    const double pa = tech.active_power;
+    TransitionEnergies e;
+    // Ramps dissipate at full active power (same convention as the
+    // closed forms; see core/energy_model.hpp).
+    e.active_to_drowsy = pa * static_cast<double>(t.d1);
+    e.drowsy_to_active = pa * static_cast<double>(t.d3);
+    e.active_to_sleep = pa * static_cast<double>(t.s1);
+    e.sleep_to_active = pa * static_cast<double>(t.s3 + t.s4) +
+                        (charge_refetch ? tech.refetch_energy : 0.0);
+    return e;
+}
+
+StateModel::StateModel(const power::TechnologyParams &tech)
+    : tech_(tech)
+{
+    tech_.validate();
+}
+
+Power
+StateModel::state_power(Mode mode) const
+{
+    switch (mode) {
+      case Mode::Active:
+        return tech_.active_power;
+      case Mode::Drowsy:
+        return tech_.drowsy_power;
+      case Mode::Sleep:
+        return tech_.sleep_power;
+    }
+    LEAKBOUND_PANIC("unreachable: bad Mode");
+}
+
+Energy
+StateModel::simulate_interval(Mode mode, Cycles length, IntervalKind kind,
+                              bool charge_refetch) const
+{
+    const auto &t = tech_.timings;
+    const double pa = tech_.active_power;
+
+    // Build the per-cycle power trace of the interval and integrate it
+    // one cycle at a time (deliberately brute-force: this function is
+    // the ground truth the closed forms are checked against).
+    Cycles entry_ramp = 0;
+    Cycles exit_ramp = 0;
+    Energy lump = 0.0; // refetch energy, charged as a lump
+
+    switch (mode) {
+      case Mode::Active:
+        break;
+      case Mode::Drowsy:
+        switch (kind) {
+          case IntervalKind::Inner:
+            entry_ramp = t.d1;
+            exit_ramp = t.d3;
+            break;
+          case IntervalKind::Trailing:
+            entry_ramp = t.d1;
+            break;
+          case IntervalKind::Leading:
+          case IntervalKind::Untouched:
+            break;
+        }
+        break;
+      case Mode::Sleep:
+        switch (kind) {
+          case IntervalKind::Inner:
+            entry_ramp = t.s1;
+            exit_ramp = t.s3 + t.s4;
+            if (charge_refetch)
+                lump = tech_.refetch_energy;
+            break;
+          case IntervalKind::Trailing:
+            entry_ramp = t.s1;
+            break;
+          case IntervalKind::Leading:
+          case IntervalKind::Untouched:
+            break;
+        }
+        break;
+    }
+
+    LEAKBOUND_ASSERT(length >= entry_ramp + exit_ramp,
+                     "interval too short for the ", mode_name(mode),
+                     " schedule");
+    const Cycles resident = length - entry_ramp - exit_ramp;
+    const Power resident_power = state_power(mode);
+
+    Energy total = lump;
+    for (Cycles c = 0; c < entry_ramp; ++c)
+        total += pa;
+    for (Cycles c = 0; c < resident; ++c)
+        total += resident_power;
+    for (Cycles c = 0; c < exit_ramp; ++c)
+        total += pa;
+    return total;
+}
+
+Energy
+StateModel::simulate_schedule(const std::vector<Segment> &schedule,
+                              bool charge_refetch) const
+{
+    const TransitionEnergies edges =
+        transition_energies(tech_, charge_refetch);
+
+    Energy total = 0.0;
+    Mode prev = Mode::Active;
+    for (const Segment &seg : schedule) {
+        // Charge the edge from the previous state into this one.
+        if (prev != seg.mode) {
+            if (prev == Mode::Active && seg.mode == Mode::Drowsy)
+                total += edges.active_to_drowsy;
+            else if (prev == Mode::Drowsy && seg.mode == Mode::Active)
+                total += edges.drowsy_to_active;
+            else if (prev == Mode::Active && seg.mode == Mode::Sleep)
+                total += edges.active_to_sleep;
+            else if (prev == Mode::Sleep && seg.mode == Mode::Active)
+                total += edges.sleep_to_active;
+            else
+                LEAKBOUND_PANIC("Fig. 6 has no ",
+                                mode_name(prev), " -> ",
+                                mode_name(seg.mode), " edge; schedules "
+                                "must pass through Active");
+        }
+        total += state_power(seg.mode) * static_cast<double>(seg.resident);
+        prev = seg.mode;
+    }
+    // Close the schedule back to Active (the next access).
+    if (prev == Mode::Drowsy)
+        total += edges.drowsy_to_active;
+    else if (prev == Mode::Sleep)
+        total += edges.sleep_to_active;
+    return total;
+}
+
+} // namespace leakbound::core

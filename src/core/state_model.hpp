@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The paper's Figure 6 state model: Active / Drowsy / Sleep states with
+ * per-state static power and per-edge transition energies, simulated
+ * cycle by cycle.
+ *
+ * The closed forms in core::EnergyModel are derived from exactly this
+ * machine; StateModel exists to *prove* that by brute force (the test
+ * suite asserts per-cycle accumulation equals the closed form for
+ * every mode, kind and a sweep of lengths), and to expose the Fig. 6
+ * edge weights (E_AD, E_DA, E_AS, E_SA) programmatically.
+ */
+
+#ifndef LEAKBOUND_CORE_STATE_MODEL_HPP
+#define LEAKBOUND_CORE_STATE_MODEL_HPP
+
+#include <vector>
+
+#include "core/energy_model.hpp"
+#include "interval/interval.hpp"
+#include "power/technology.hpp"
+
+namespace leakbound::core {
+
+/** The Fig. 6 edge weights (transition energy consumptions). */
+struct TransitionEnergies
+{
+    Energy active_to_drowsy = 0.0; ///< E_AD: d1 cycles of ramp
+    Energy drowsy_to_active = 0.0; ///< E_DA: d3 cycles of ramp
+    Energy active_to_sleep = 0.0;  ///< E_AS: s1 cycles of ramp
+    /** E_SA: s3+s4 cycles of wakeup + the induced-miss re-fetch CD. */
+    Energy sleep_to_active = 0.0;
+};
+
+/** Derive the Fig. 6 edge weights from a technology node. */
+TransitionEnergies transition_energies(const power::TechnologyParams &tech,
+                                       bool charge_refetch = true);
+
+/**
+ * Cycle-accurate simulator of the three-state power model.
+ */
+class StateModel
+{
+  public:
+    /** One stretch of residency in a state. */
+    struct Segment
+    {
+        Mode mode;      ///< state occupied
+        Cycles resident; ///< cycles spent in the state (excl. ramps)
+    };
+
+    explicit StateModel(const power::TechnologyParams &tech);
+
+    /** Static power of a state (the P(...) node labels of Fig. 6). */
+    Power state_power(Mode mode) const;
+
+    /**
+     * Per-cycle simulation of one access interval spent in @p mode,
+     * including the entry/exit ramps and re-fetch the interval's kind
+     * implies.  Equals EnergyModel::energy() (tested property).
+     */
+    Energy simulate_interval(Mode mode, Cycles length,
+                             interval::IntervalKind kind,
+                             bool charge_refetch = true) const;
+
+    /**
+     * Simulate an arbitrary schedule of residencies; transition edges
+     * are charged between consecutive segments of different modes.
+     * The schedule is assumed to start and end in Active (an access on
+     * each side), so a leading/trailing non-Active segment pays its
+     * entry/exit edges too.
+     */
+    Energy simulate_schedule(const std::vector<Segment> &schedule,
+                             bool charge_refetch = true) const;
+
+  private:
+    power::TechnologyParams tech_;
+};
+
+} // namespace leakbound::core
+
+#endif // LEAKBOUND_CORE_STATE_MODEL_HPP

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Four-wide in-order timing core (the SimpleScalar/Alpha-21264
+ * substitute; DESIGN.md §3).
+ *
+ * Each cycle the core fetches up to `fetch_width` sequential
+ * instructions from a single instruction cache line (one L1I access
+ * per fetch group), issues the group's loads/stores to the L1D, and
+ * advances time by one cycle plus any miss penalties.  This produces
+ * the cycle-stamped per-frame access streams the interval analysis
+ * consumes; the limit study needs relative access timing, not precise
+ * out-of-order overlap.
+ */
+
+#ifndef LEAKBOUND_CPU_INORDER_CORE_HPP
+#define LEAKBOUND_CPU_INORDER_CORE_HPP
+
+#include <cstdint>
+
+#include "sim/hierarchy.hpp"
+#include "trace/record.hpp"
+#include "workload/workload.hpp"
+
+namespace leakbound::cpu {
+
+/** Core parameters. */
+struct CoreConfig
+{
+    std::uint32_t fetch_width = 4; ///< instructions per fetch group
+    std::uint32_t instr_bytes = 4; ///< fixed-width Alpha-style encoding
+    /**
+     * Fraction (percent) of the worst miss penalty in a fetch group
+     * that actually stalls the core.  Approximates the out-of-order
+     * 21264's ability to overlap misses with useful work and with each
+     * other: misses within a group fully overlap (max, not sum), and
+     * the remainder is discounted by this factor.  100 = fully
+     * blocking, 0 = misses are free.
+     */
+    std::uint32_t miss_overlap_percent = 50;
+};
+
+/**
+ * Observer of the core's cache accesses; the experiment glue implements
+ * this to drive interval collection and prefetch bookkeeping.
+ */
+class AccessListener
+{
+  public:
+    virtual ~AccessListener() = default;
+
+    /** A fetch-group access to L1I at @p cycle for the line of @p pc. */
+    virtual void on_instr_access(Cycle cycle, Pc pc,
+                                 const sim::HierarchyResult &result) = 0;
+
+    /** A load/store by @p pc to @p addr at @p cycle. */
+    virtual void on_data_access(Cycle cycle, Pc pc, Addr addr,
+                                bool is_store,
+                                const sim::HierarchyResult &result) = 0;
+};
+
+/** Statistics of one core run. */
+struct CoreRunStats
+{
+    std::uint64_t instructions = 0;
+    Cycles cycles = 0;
+    std::uint64_t fetch_groups = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    Cycles instr_stall_cycles = 0; ///< cycles lost to L1I misses
+    Cycles data_stall_cycles = 0;  ///< cycles lost to L1D misses
+
+    /** Instructions per cycle. */
+    double ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+/**
+ * The timing core.  Construct, then run() once; the final cycle count
+ * is the interval analysis' end-of-run timestamp.
+ */
+class InOrderCore
+{
+  public:
+    /**
+     * @param config core parameters
+     * @param hierarchy the memory system (not owned)
+     * @param source the workload generating instructions (not owned)
+     * @param listener optional access observer (not owned)
+     */
+    InOrderCore(const CoreConfig &config, sim::Hierarchy *hierarchy,
+                workload::Workload *source,
+                AccessListener *listener = nullptr);
+
+    /** Execute up to @p max_instructions; returns run statistics. */
+    CoreRunStats run(std::uint64_t max_instructions);
+
+    /** Current cycle (end-of-run timestamp after run()). */
+    Cycle cycle() const { return cycle_; }
+
+  private:
+    bool fetch_op(trace::MicroOp &op);
+    bool peek_op(trace::MicroOp &op);
+
+    CoreConfig config_;
+    sim::Hierarchy *hierarchy_;
+    workload::Workload *source_;
+    AccessListener *listener_;
+    Cycle cycle_ = 0;
+
+    trace::MicroOp pending_{};
+    bool have_pending_ = false;
+};
+
+} // namespace leakbound::cpu
+
+#endif // LEAKBOUND_CPU_INORDER_CORE_HPP

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Streaming extraction of per-frame access intervals.
+ *
+ * The collector observes the cache's access stream — (frame, cycle)
+ * events plus prefetchability annotations — and partitions every
+ * frame's timeline into Leading / Inner / Trailing / Untouched
+ * intervals (see interval.hpp), feeding them into an
+ * IntervalHistogramSet and optionally retaining the raw intervals for
+ * validation.
+ *
+ * Prefetchability flags are computed by the caller (the experiment
+ * glue), which owns the per-block last-access tables and the stride
+ * predictor: next-line coverage must be judged against the block the
+ * closing access touches, which may not have been resident during the
+ * interval (miss-closing intervals), so the collector cannot decide it
+ * alone.  open_since() exposes the open interval's start time for that
+ * judgement.
+ */
+
+#ifndef LEAKBOUND_INTERVAL_COLLECTOR_HPP
+#define LEAKBOUND_INTERVAL_COLLECTOR_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "interval/interval.hpp"
+#include "interval/interval_histogram.hpp"
+#include "util/types.hpp"
+
+namespace leakbound::interval {
+
+/**
+ * Per-cache interval collector.  Drive it with on_access() /
+ * mark_next_line() during simulation and call finalize() once at the
+ * end; results accumulate in the sink histogram set.
+ */
+class IntervalCollector
+{
+  public:
+    /**
+     * @param num_frames physical frames in the observed cache
+     * @param sink histogram set receiving the intervals (not owned;
+     *             must outlive the collector)
+     * @param keep_raw also retain every Interval in raw() (test use;
+     *             costs memory proportional to the access count)
+     */
+    IntervalCollector(std::uint64_t num_frames, IntervalHistogramSet *sink,
+                      bool keep_raw = false);
+
+    /**
+     * Record an access to @p frame at @p cycle, closing the frame's
+     * open interval and opening a new one.
+     *
+     * @param reuse true when the access hits the resident block (so a
+     *              slept line would have induced a real extra miss)
+     * @param stride_predicted true when the stride predictor covered
+     *              this access (classifies the *closing* interval)
+     * @param nl_covered true when the line preceding the accessed
+     *              block was touched inside the closing interval (a
+     *              next-line prefetcher would have covered this access)
+     */
+    void on_access(FrameId frame, Cycle cycle, bool reuse,
+                   bool stride_predicted, bool nl_covered);
+
+    /**
+     * Start time of @p frame's open interval (its last access), or
+     * false if the frame has never been accessed.
+     */
+    bool open_since(FrameId frame, Cycle &since) const;
+
+    /**
+     * Close all open intervals at @p end_cycle, emitting Trailing
+     * intervals for touched frames and Untouched intervals for frames
+     * never accessed, and stamp the sink's run info.
+     */
+    void finalize(Cycle end_cycle);
+
+    /** Raw intervals (empty unless keep_raw was requested). */
+    const std::vector<Interval> &raw() const { return raw_; }
+
+    /** Accesses observed so far. */
+    std::uint64_t num_accesses() const { return num_accesses_; }
+
+  private:
+    struct FrameState
+    {
+        Cycle last_access = 0;
+        bool touched = false;
+    };
+
+    void emit(const Interval &iv);
+
+    std::vector<FrameState> frames_;
+    IntervalHistogramSet *sink_;
+    bool keep_raw_;
+    bool finalized_ = false;
+    std::uint64_t num_accesses_ = 0;
+    std::vector<Interval> raw_;
+};
+
+} // namespace leakbound::interval
+
+#endif // LEAKBOUND_INTERVAL_COLLECTOR_HPP

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Name tables for interval enums.
+ */
+
+#include "interval/interval.hpp"
+
+namespace leakbound::interval {
+
+const char *
+kind_name(IntervalKind kind)
+{
+    switch (kind) {
+      case IntervalKind::Inner:
+        return "inner";
+      case IntervalKind::Leading:
+        return "leading";
+      case IntervalKind::Trailing:
+        return "trailing";
+      case IntervalKind::Untouched:
+        return "untouched";
+    }
+    return "?";
+}
+
+const char *
+prefetch_class_name(PrefetchClass pf)
+{
+    switch (pf) {
+      case PrefetchClass::NonPrefetchable:
+        return "non-prefetchable";
+      case PrefetchClass::NextLine:
+        return "next-line";
+      case PrefetchClass::Stride:
+        return "stride";
+    }
+    return "?";
+}
+
+} // namespace leakbound::interval

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Implementation of the exact interval histogram set.
+ */
+
+#include "interval/interval_histogram.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace leakbound::interval {
+
+namespace {
+
+/** Slots: 6 Inner combinations + Leading + Trailing + Untouched. */
+constexpr std::size_t kInnerSlots = kNumPrefetchClasses * 2;
+constexpr std::size_t kLeadingSlot = kInnerSlots;
+constexpr std::size_t kTrailingSlot = kInnerSlots + 1;
+constexpr std::size_t kUntouchedSlot = kInnerSlots + 2;
+constexpr std::size_t kNumSlots = kInnerSlots + 3;
+
+} // namespace
+
+IntervalHistogramSet::IntervalHistogramSet(std::vector<std::uint64_t> edges)
+    : edges_(std::move(edges))
+{
+    LEAKBOUND_ASSERT(!edges_.empty() && edges_.front() == 0,
+                     "interval histogram edges must start at 0");
+    hists_.reserve(kNumSlots);
+    for (std::size_t i = 0; i < kNumSlots; ++i)
+        hists_.emplace_back(edges_);
+}
+
+IntervalHistogramSet
+IntervalHistogramSet::with_default_edges(
+    const std::vector<Cycles> &extra_thresholds)
+{
+    return IntervalHistogramSet(default_edges(extra_thresholds));
+}
+
+std::size_t
+IntervalHistogramSet::slot(IntervalKind kind, PrefetchClass pf, bool reuse)
+{
+    switch (kind) {
+      case IntervalKind::Inner:
+        return static_cast<std::size_t>(pf) * 2 + (reuse ? 1 : 0);
+      case IntervalKind::Leading:
+        return kLeadingSlot;
+      case IntervalKind::Trailing:
+        return kTrailingSlot;
+      case IntervalKind::Untouched:
+        return kUntouchedSlot;
+    }
+    LEAKBOUND_PANIC("unreachable: bad IntervalKind");
+}
+
+void
+IntervalHistogramSet::add(const Interval &iv)
+{
+    hists_[slot(iv.kind, iv.pf, iv.ends_in_reuse)].add(iv.length);
+}
+
+void
+IntervalHistogramSet::merge(const IntervalHistogramSet &other)
+{
+    LEAKBOUND_ASSERT(edges_ == other.edges_,
+                     "merging interval sets with different edges");
+    for (std::size_t i = 0; i < hists_.size(); ++i)
+        hists_[i].merge(other.hists_[i]);
+    num_frames_ += other.num_frames_;
+    // Runs are merged side by side (e.g. averaging benchmarks); the
+    // cycle axis must match for baseline_energy to stay meaningful, so
+    // keep the max and rely on per-frame totals via baseline_energy of
+    // each component when exactness matters (Savings handles this by
+    // aggregating energies, not sets, across benchmarks).
+    total_cycles_ = std::max(total_cycles_, other.total_cycles_);
+}
+
+void
+IntervalHistogramSet::set_run_info(std::uint64_t num_frames,
+                                   Cycles total_cycles)
+{
+    num_frames_ = num_frames;
+    total_cycles_ = total_cycles;
+}
+
+Energy
+IntervalHistogramSet::baseline_energy() const
+{
+    return static_cast<Energy>(num_frames_) *
+           static_cast<Energy>(total_cycles_);
+}
+
+void
+IntervalHistogramSet::for_each_cell(
+    const std::function<void(const CellRef &)> &fn) const
+{
+    auto emit = [&fn](const util::Histogram &h, IntervalKind kind,
+                      PrefetchClass pf, bool reuse) {
+        for (std::size_t i = 0; i < h.num_bins(); ++i) {
+            const auto &b = h.bin(i);
+            if (b.count == 0)
+                continue;
+            CellRef cell;
+            cell.kind = kind;
+            cell.pf = pf;
+            cell.ends_in_reuse = reuse;
+            cell.lower = h.lower_edge(i);
+            cell.upper = h.upper_edge(i);
+            cell.count = b.count;
+            cell.sum = b.sum;
+            fn(cell);
+        }
+    };
+
+    for (std::size_t p = 0; p < kNumPrefetchClasses; ++p) {
+        for (int reuse = 0; reuse < 2; ++reuse) {
+            const auto pf = static_cast<PrefetchClass>(p);
+            emit(hists_[slot(IntervalKind::Inner, pf, reuse != 0)],
+                 IntervalKind::Inner, pf, reuse != 0);
+        }
+    }
+    emit(hists_[kLeadingSlot], IntervalKind::Leading,
+         PrefetchClass::NonPrefetchable, false);
+    emit(hists_[kTrailingSlot], IntervalKind::Trailing,
+         PrefetchClass::NonPrefetchable, false);
+    emit(hists_[kUntouchedSlot], IntervalKind::Untouched,
+         PrefetchClass::NonPrefetchable, false);
+}
+
+std::uint64_t
+IntervalHistogramSet::total_intervals() const
+{
+    std::uint64_t total = 0;
+    for (const auto &h : hists_)
+        total += h.total_count();
+    return total;
+}
+
+std::uint64_t
+IntervalHistogramSet::total_inner_intervals() const
+{
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < kInnerSlots; ++i)
+        total += hists_[i].total_count();
+    return total;
+}
+
+std::uint64_t
+IntervalHistogramSet::total_length() const
+{
+    std::uint64_t total = 0;
+    for (const auto &h : hists_)
+        total += h.total_sum();
+    return total;
+}
+
+std::uint64_t
+IntervalHistogramSet::inner_count_in(PrefetchClass pf, Cycles lo,
+                                     Cycles hi) const
+{
+    std::uint64_t total = 0;
+    for (int reuse = 0; reuse < 2; ++reuse) {
+        const auto &h = hists_[slot(IntervalKind::Inner, pf, reuse != 0)];
+        for (std::size_t i = 0; i < h.num_bins(); ++i) {
+            if (h.lower_edge(i) >= lo && h.upper_edge(i) <= hi)
+                total += h.bin(i).count;
+        }
+    }
+    return total;
+}
+
+std::uint64_t
+IntervalHistogramSet::inner_count_in(Cycles lo, Cycles hi) const
+{
+    std::uint64_t total = 0;
+    for (std::size_t p = 0; p < kNumPrefetchClasses; ++p)
+        total += inner_count_in(static_cast<PrefetchClass>(p), lo, hi);
+    return total;
+}
+
+std::vector<std::uint64_t>
+IntervalHistogramSet::default_edges(const std::vector<Cycles> &extra)
+{
+    std::vector<std::uint64_t> edges;
+    // Fine-grained small lengths: the active-drowsy point (6), the
+    // transition overheads (3, 30, 33, 37) and everything nearby.
+    for (std::uint64_t e = 0; e <= 64; ++e)
+        edges.push_back(e);
+    // Log2-ish coverage for distribution reporting.
+    for (std::uint64_t e = 128; e <= (1ULL << 40); e <<= 1)
+        edges.push_back(e);
+
+    // Every decision threshold T any stock experiment uses, with T+1
+    // (the "> T" boundary) and T+overhead boundaries for decay-style
+    // piecewise policies.
+    std::vector<std::uint64_t> thresholds = {
+        // paper Table 1 inflection points
+        1057, 5088, 10328, 103084,
+        // Fig. 7 sweep values
+        1200, 1500, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000, 10000,
+        // decay sweep (ablation): 1K..64K
+        1000, 16000, 32000, 64000,
+    };
+    thresholds.insert(thresholds.end(), extra.begin(), extra.end());
+    for (std::uint64_t t : thresholds) {
+        edges.push_back(t);
+        edges.push_back(t + 1);
+        edges.push_back(t + 37);      // t + sleep_overhead (30+3+4)
+        edges.push_back(t + 37 + 1);
+    }
+
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    return edges;
+}
+
+} // namespace leakbound::interval

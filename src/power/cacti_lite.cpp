@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Implementation of the CACTI-lite dynamic energy model.
+ */
+
+#include "power/cacti_lite.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace leakbound::power {
+
+double
+relative_read_energy(const CactiGeometry &geom, const TechnologyParams &tech)
+{
+    using util::fatal;
+    if (geom.size_bytes == 0 || geom.line_bytes == 0 ||
+        geom.associativity == 0 || geom.banks == 0) {
+        fatal("cacti_lite: geometry fields must be nonzero");
+    }
+    if (geom.size_bytes % (static_cast<std::uint64_t>(geom.line_bytes) *
+                           geom.associativity)) {
+        fatal("cacti_lite: size must be divisible by line*assoc");
+    }
+
+    const double sets =
+        static_cast<double>(geom.size_bytes) /
+        (static_cast<double>(geom.line_bytes) * geom.associativity);
+    const double rows_per_bank = sets / static_cast<double>(geom.banks);
+    const double cols = static_cast<double>(geom.line_bytes) * 8.0 *
+                        static_cast<double>(geom.associativity);
+
+    // First-order CACTI decomposition.  Energies scale with Vdd^2 and
+    // linearly with the capacitance of the driven structure, which
+    // scales with feature size and wire length (~ sqrt of array dims).
+    const double vdd2 = tech.vdd * tech.vdd;
+    const double feature = tech.feature_nm / 70.0;
+
+    const double decode = 2.0 * std::log2(rows_per_bank);
+    const double wordline = 0.05 * cols;
+    const double bitline = 0.02 * rows_per_bank * cols / 64.0;
+    const double sense = 0.5 * cols;
+    const double output = 1.0 * geom.line_bytes;
+
+    return vdd2 * feature * (decode + wordline + bitline + sense + output);
+}
+
+Energy
+scaled_refetch_energy(const CactiGeometry &geom, const TechnologyParams &tech)
+{
+    const CactiGeometry reference; // the paper's 2MB direct-mapped L2
+    const double anchor = relative_read_energy(reference, tech);
+    const double target = relative_read_energy(geom, tech);
+    return tech.refetch_energy * (target / anchor);
+}
+
+} // namespace leakbound::power

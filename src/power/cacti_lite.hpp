@@ -1,0 +1,51 @@
+/**
+ * @file
+ * CACTI-lite: a parametric model of the dynamic energy of a cache read.
+ *
+ * The paper takes the induced-miss re-fetch energy CD from CACTI 3.0
+ * [15].  The calibrated per-node CD values live in power/technology.cpp;
+ * this module provides the *trend* model used for extensions (custom
+ * cache geometries, ablations over L2 size).  It follows CACTI's
+ * first-order structure: energy = decode + wordline + bitline + sense +
+ * output drive, with bitline energy dominating and scaling as
+ * (rows × Vdd² × feature).  Outputs are in the same normalized
+ * LU·cycles used everywhere (scaled so the default 2MB L2 at 70nm
+ * reproduces the calibrated CD).
+ */
+
+#ifndef LEAKBOUND_POWER_CACTI_LITE_HPP
+#define LEAKBOUND_POWER_CACTI_LITE_HPP
+
+#include <cstdint>
+
+#include "power/technology.hpp"
+
+namespace leakbound::power {
+
+/** Geometry of the cache being read on a re-fetch. */
+struct CactiGeometry
+{
+    std::uint64_t size_bytes = 2 * 1024 * 1024; ///< 2MB unified L2
+    std::uint32_t line_bytes = 64;              ///< line transferred
+    std::uint32_t associativity = 1;            ///< direct-mapped L2
+    std::uint32_t banks = 4;                    ///< sub-banking factor
+};
+
+/**
+ * Relative dynamic read energy of one access to the given geometry in
+ * arbitrary units; meaningful only as ratios between geometries/nodes.
+ */
+double relative_read_energy(const CactiGeometry &geom,
+                            const TechnologyParams &tech);
+
+/**
+ * Re-fetch energy CD in LU·cycles for @p geom at @p tech, anchored so
+ * the default geometry reproduces tech.refetch_energy exactly.  Use
+ * this to ask "what would CD be if the L2 were 4x larger?".
+ */
+Energy scaled_refetch_energy(const CactiGeometry &geom,
+                             const TechnologyParams &tech);
+
+} // namespace leakbound::power
+
+#endif // LEAKBOUND_POWER_CACTI_LITE_HPP

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Implementation of the HotLeakage-style subthreshold model.
+ */
+
+#include "power/hotleakage.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace leakbound::power {
+
+double
+thermal_voltage(double kelvin)
+{
+    // kT/q with k/q = 8.617333e-5 V/K.
+    return 8.617333262e-5 * kelvin;
+}
+
+double
+subthreshold_current(const LeakageInputs &in)
+{
+    const double vt = thermal_voltage(in.temperature_k);
+    // Vgs = 0 for the nominally-off transistor; Vds = Vdd.
+    const double exponent = (0.0 - in.vth) / (in.subthreshold_swing_n * vt);
+    const double drain_term = 1.0 - std::exp(-in.vdd / vt);
+    // Prefactor mu0*Cox*(W/L)*vT^2*e^1.8 folded to width_factor*vT^2*e^1.8.
+    const double prefactor =
+        in.width_factor * vt * vt * std::exp(1.8);
+    return prefactor * std::exp(exponent) * drain_term;
+}
+
+double
+line_leakage_power(const LeakageInputs &in)
+{
+    return in.vdd * subthreshold_current(in) *
+           static_cast<double>(in.transistors_per_line);
+}
+
+double
+drowsy_ratio(const LeakageInputs &in, double vdd_low, double dibl_coeff)
+{
+    if (vdd_low <= 0.0 || vdd_low >= in.vdd) {
+        util::fatal("drowsy_ratio: vdd_low (", vdd_low,
+                    ") must be in (0, vdd=", in.vdd, ")");
+    }
+    LeakageInputs low = in;
+    low.vdd = vdd_low;
+    // Lowering Vds raises the effective threshold via reduced DIBL.
+    low.vth = in.vth + dibl_coeff * (in.vdd - vdd_low);
+    const double high_power = line_leakage_power(in);
+    const double low_power = line_leakage_power(low);
+    return low_power / high_power;
+}
+
+TechnologyParams
+derive_technology(const std::string &name, double feature_nm,
+                  const LeakageInputs &in, double vdd_low,
+                  Energy refetch_energy)
+{
+    TechnologyParams p;
+    p.name = name;
+    p.feature_nm = feature_nm;
+    p.vdd = in.vdd;
+    p.vth = in.vth;
+    p.active_power = 1.0;
+    p.drowsy_power = drowsy_ratio(in, vdd_low);
+    p.sleep_power = 0.0;
+    p.refetch_energy = refetch_energy;
+    p.validate();
+    return p;
+}
+
+} // namespace leakbound::power

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * HotLeakage-style subthreshold leakage estimator.
+ *
+ * The paper sources absolute per-line leakage powers from the
+ * HotLeakage tool [18].  The limit math only needs leakage *ratios*
+ * between modes (which are pinned in power/technology.cpp), but to let
+ * users define new technology nodes — the generalized model of paper
+ * Section 3.3 — we provide a compact BSIM4-flavoured subthreshold
+ * current model:
+ *
+ *   I_sub = mu0 Cox (W/L) vT^2 e^1.8 exp((Vgs - Vth)/(n vT))
+ *                 (1 - exp(-Vds/vT))
+ *
+ * evaluated with Vgs = 0 (the off transistor) and Vds = Vdd, so that
+ * P_leak = Vdd * I_sub * (transistors per line).  Constants are folded
+ * into a single technology-dependent prefactor; what matters for the
+ * limit study is the exponential Vth dependence and the linear Vdd
+ * dependence, which this model reproduces.
+ */
+
+#ifndef LEAKBOUND_POWER_HOTLEAKAGE_HPP
+#define LEAKBOUND_POWER_HOTLEAKAGE_HPP
+
+#include <cstdint>
+
+#include "power/technology.hpp"
+
+namespace leakbound::power {
+
+/** Physical inputs for the subthreshold leakage estimate. */
+struct LeakageInputs
+{
+    double vdd = 0.9;           ///< supply voltage (V)
+    double vth = 0.1902;        ///< threshold voltage (V)
+    double temperature_k = 353; ///< die temperature (K), 80C default
+    double subthreshold_swing_n = 1.5; ///< body-effect coefficient n
+    std::uint64_t transistors_per_line = 64 * 8 * 6; ///< 6T cells per 64B line
+    double width_factor = 1.0;  ///< effective W/L aggregate multiplier
+};
+
+/** Thermal voltage kT/q in volts at temperature @p kelvin. */
+double thermal_voltage(double kelvin);
+
+/**
+ * Subthreshold leakage current of one off transistor, in arbitrary
+ * units proportional to amperes (the prefactor is folded).
+ */
+double subthreshold_current(const LeakageInputs &in);
+
+/**
+ * Leakage power of one cache line in the same arbitrary units times
+ * volts.  Ratios between calls with different inputs are meaningful;
+ * absolute values are not calibrated to a real process.
+ */
+double line_leakage_power(const LeakageInputs &in);
+
+/**
+ * Predict the drowsy/active leakage ratio when the supply voltage is
+ * lowered to @p vdd_low: leakage drops roughly linearly with Vds plus a
+ * DIBL-driven Vth increase.  @p dibl_coeff models the threshold rise.
+ */
+double drowsy_ratio(const LeakageInputs &in, double vdd_low,
+                    double dibl_coeff = 0.15);
+
+/**
+ * Build a full TechnologyParams for a user-defined node: leakage ratios
+ * from this model, refetch energy supplied by the caller (e.g. from
+ * cacti_lite), Table-1-style timings.
+ */
+TechnologyParams derive_technology(const std::string &name,
+                                   double feature_nm,
+                                   const LeakageInputs &in,
+                                   double vdd_low,
+                                   Energy refetch_energy);
+
+} // namespace leakbound::power
+
+#endif // LEAKBOUND_POWER_HOTLEAKAGE_HPP

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Implementation of the ITRS projection table.
+ */
+
+#include "power/itrs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace leakbound::power {
+
+const std::vector<ItrsPoint> &
+itrs_projection()
+{
+    // Digitized from the trend paper Fig. 1 plots: leakage grows from a
+    // small fraction of total power in 1999 to rough parity with
+    // dynamic power by 2009 as Vth scales down.
+    static const std::vector<ItrsPoint> points = {
+        {1999, 0.06}, {2001, 0.12}, {2003, 0.22},
+        {2005, 0.38}, {2007, 0.52}, {2009, 0.64},
+    };
+    return points;
+}
+
+double
+itrs_leakage_fraction(double year)
+{
+    const auto &pts = itrs_projection();
+    if (year <= pts.front().year)
+        return pts.front().leakage_fraction;
+    if (year >= pts.back().year)
+        return pts.back().leakage_fraction;
+    // Piecewise linear between tabulated points; the biennial spacing
+    // makes anything fancier pointless.
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+        if (year <= pts[i].year) {
+            const double x0 = pts[i - 1].year;
+            const double x1 = pts[i].year;
+            const double y0 = pts[i - 1].leakage_fraction;
+            const double y1 = pts[i].leakage_fraction;
+            return y0 + (y1 - y0) * (year - x0) / (x1 - x0);
+        }
+    }
+    return pts.back().leakage_fraction;
+}
+
+} // namespace leakbound::power

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * ITRS leakage projection (paper Figure 1).
+ *
+ * Figure 1 plots, per the International Technology Roadmap for
+ * Semiconductors, the projected fraction of total power dissipated as
+ * leakage from 1999 to 2009.  The roadmap site the paper cites is long
+ * gone; we encode the monotone trend the figure shows (a few percent in
+ * 1999 rising past half of total power by decade's end) as a table plus
+ * a logistic interpolant for intermediate years.
+ */
+
+#ifndef LEAKBOUND_POWER_ITRS_HPP
+#define LEAKBOUND_POWER_ITRS_HPP
+
+#include <vector>
+
+namespace leakbound::power {
+
+/** One projected roadmap point. */
+struct ItrsPoint
+{
+    int year;               ///< calendar year
+    double leakage_fraction; ///< leakage / total power, in [0, 1]
+};
+
+/** The tabulated 1999-2009 projection (biennial, as the figure plots). */
+const std::vector<ItrsPoint> &itrs_projection();
+
+/**
+ * Leakage fraction for an arbitrary @p year via logistic fit through
+ * the tabulated points; clamps outside [1999, 2009].
+ */
+double itrs_leakage_fraction(double year);
+
+} // namespace leakbound::power
+
+#endif // LEAKBOUND_POWER_ITRS_HPP

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Calibrated technology-node tables.
+ *
+ * The refetch_energy values are derived by inverting paper Eq. 3
+ * against the inflection points printed in paper Table 1:
+ *
+ *   b = (K_S + CD - K_D) / (P_D - P_S)
+ *   K_D = (P_A - P_D) * (d1 + d3)           = 4.0   (P_D = 1/3)
+ *   K_S = (P_A - P_S) * (s1 + s3 + s4)      = 37.0  (P_S = 0)
+ *   =>  CD = b * P_D - K_S + K_D = b/3 - 33
+ *
+ * yielding CD(70nm)=319.333, CD(100nm)=1663, CD(130nm)=3409.667,
+ * CD(180nm)=34328.333 LU·cycles.  Vdd/Vth per node are the paper's
+ * Table 2 values.
+ */
+
+#include "power/technology.hpp"
+
+#include "util/logging.hpp"
+
+namespace leakbound::power {
+
+ModeTimings
+ModeTimings::with_l2_latency(Cycles l2_latency)
+{
+    ModeTimings t;
+    t.s4 = l2_latency > t.s3 ? l2_latency - t.s3 : 0;
+    return t;
+}
+
+void
+TechnologyParams::validate() const
+{
+    using util::fatal;
+    if (active_power <= 0.0)
+        fatal("technology '", name, "': active_power must be positive");
+    if (drowsy_power < 0.0 || drowsy_power >= active_power) {
+        fatal("technology '", name,
+              "': drowsy_power must be in [0, active_power)");
+    }
+    if (sleep_power < 0.0 || sleep_power > drowsy_power) {
+        fatal("technology '", name,
+              "': sleep_power must be in [0, drowsy_power]");
+    }
+    if (refetch_energy < 0.0)
+        fatal("technology '", name, "': refetch_energy must be >= 0");
+    if (decay_counter_overhead < 0.0)
+        fatal("technology '", name, "': counter overhead must be >= 0");
+    if (timings.drowsy_overhead() == 0)
+        fatal("technology '", name, "': drowsy transitions cannot be 0");
+    if (timings.sleep_overhead() <= timings.drowsy_overhead()) {
+        // Lemma 1 of the paper requires the drowsy transitions to be
+        // strictly cheaper in time than the sleep transitions.
+        fatal("technology '", name,
+              "': sleep overhead must exceed drowsy overhead (Lemma 1)");
+    }
+}
+
+namespace {
+
+TechnologyParams
+make_node(const char *name, double feature_nm, double vdd, double vth,
+          Energy refetch_energy)
+{
+    TechnologyParams p;
+    p.name = name;
+    p.feature_nm = feature_nm;
+    p.vdd = vdd;
+    p.vth = vth;
+    p.refetch_energy = refetch_energy;
+    return p;
+}
+
+// Paper Table 2 Vdd/Vth; refetch energy calibrated to Table 1 (header
+// comment above).
+const TechnologyParams kNode70 =
+    make_node("70nm", 70.0, 0.9, 0.1902, 1057.0 / 3.0 - 33.0);
+const TechnologyParams kNode100 =
+    make_node("100nm", 100.0, 1.0, 0.2607, 5088.0 / 3.0 - 33.0);
+const TechnologyParams kNode130 =
+    make_node("130nm", 130.0, 1.5, 0.3353, 10328.0 / 3.0 - 33.0);
+const TechnologyParams kNode180 =
+    make_node("180nm", 180.0, 2.0, 0.3979, 103084.0 / 3.0 - 33.0);
+
+} // namespace
+
+const std::vector<TechNode> &
+all_nodes()
+{
+    static const std::vector<TechNode> nodes = {
+        TechNode::Nm70, TechNode::Nm100, TechNode::Nm130, TechNode::Nm180};
+    return nodes;
+}
+
+const TechnologyParams &
+node_params(TechNode node)
+{
+    switch (node) {
+      case TechNode::Nm70:
+        return kNode70;
+      case TechNode::Nm100:
+        return kNode100;
+      case TechNode::Nm130:
+        return kNode130;
+      case TechNode::Nm180:
+        return kNode180;
+    }
+    LEAKBOUND_PANIC("unreachable: bad TechNode");
+}
+
+const TechnologyParams &
+node_params_by_name(const std::string &name)
+{
+    for (TechNode node : all_nodes()) {
+        const TechnologyParams &p = node_params(node);
+        if (p.name == name)
+            return p;
+    }
+    util::fatal("unknown technology node '", name,
+                "' (expected 70nm, 100nm, 130nm or 180nm)");
+}
+
+const char *
+node_name(TechNode node)
+{
+    return node_params(node).name.c_str();
+}
+
+} // namespace leakbound::power

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Technology-node parameter sets for the leakage limit study.
+ *
+ * The paper's limit math consumes a small set of circuit parameters:
+ * per-line leakage powers in each mode (from HotLeakage), the dynamic
+ * re-fetch energy of an induced miss (from CACTI), and the mode
+ * transition durations (from Li et al., DATE'04).  This module provides
+ * the four calibrated nodes the paper evaluates (70/100/130/180nm) plus
+ * the machinery to define custom nodes (the "generalized model",
+ * Section 3.3).
+ *
+ * All powers are normalized: the active leakage power of one cache line
+ * is 1.0 LU/cycle (see util/types.hpp).  See DESIGN.md §2 for how the
+ * per-node `refetch_energy` values were derived by inverting the
+ * paper's Table 1.
+ */
+
+#ifndef LEAKBOUND_POWER_TECHNOLOGY_HPP
+#define LEAKBOUND_POWER_TECHNOLOGY_HPP
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace leakbound::power {
+
+/**
+ * Mode transition timings in cycles (paper Fig. 4 and Section 4.2,
+ * values from Li et al. [10]).
+ */
+struct ModeTimings
+{
+    Cycles s1 = 30; ///< sleep entry: voltage high -> off
+    Cycles s3 = 3;  ///< sleep exit: voltage off -> high
+    Cycles s4 = 4;  ///< re-fetch wait after wakeup: L2 latency D - s3
+    Cycles d1 = 3;  ///< drowsy entry: voltage high -> low
+    Cycles d3 = 3;  ///< drowsy exit: voltage low -> high
+
+    /** Total non-resident overhead of a sleep interval (s1+s3+s4). */
+    Cycles sleep_overhead() const { return s1 + s3 + s4; }
+
+    /** Total non-resident overhead of a drowsy interval (d1+d3). */
+    Cycles drowsy_overhead() const { return d1 + d3; }
+
+    /**
+     * Derive timings for a different L2 hit latency @p l2_latency:
+     * s4 = max(D - s3, 0) per the paper's definition.
+     */
+    static ModeTimings with_l2_latency(Cycles l2_latency);
+};
+
+/**
+ * Complete parameter set for one implementation technology.  This is
+ * the input record of the generalized model (paper Section 3.3): every
+ * individual assumption — durations, per-mode leakage powers, and the
+ * induced-miss energy — appears here explicitly.
+ */
+struct TechnologyParams
+{
+    std::string name;    ///< e.g. "70nm"
+    double feature_nm = 70.0; ///< drawn feature size in nanometres
+    double vdd = 0.9;    ///< supply voltage (V), paper Table 2
+    double vth = 0.1902; ///< threshold voltage (V), paper Table 2
+
+    /** Active-mode leakage power per line (normalization basis). */
+    Power active_power = 1.0;
+    /** Drowsy-mode leakage power per line, fraction of active. */
+    Power drowsy_power = 1.0 / 3.0;
+    /** Sleep-mode leakage power per line (Gated-Vdd, ~zero). */
+    Power sleep_power = 0.0;
+
+    /**
+     * Dynamic energy of re-fetching one line from L2 after an induced
+     * miss (the "*" cost in paper Fig. 4), in LU·cycles.  Calibrated
+     * per node so the computed drowsy-sleep inflection point matches
+     * the paper's Table 1 (see DESIGN.md §2).
+     */
+    Energy refetch_energy = 333.833333333333333;
+
+    /**
+     * Always-on leakage overhead of the per-line decay counter used by
+     * the Sleep(10K) cache-decay scheme (paper footnote 2), as a
+     * fraction of active line leakage.  Applied only by decay-style
+     * policies.
+     */
+    Power decay_counter_overhead = 0.002;
+
+    /** Mode transition timings. */
+    ModeTimings timings;
+
+    /** Sanity-check invariants; calls fatal() on user errors. */
+    void validate() const;
+};
+
+/** The four nodes evaluated in the paper (Tables 1 and 2). */
+enum class TechNode { Nm70, Nm100, Nm130, Nm180 };
+
+/** All paper nodes in the order the paper tabulates them (70 -> 180). */
+const std::vector<TechNode> &all_nodes();
+
+/** Calibrated parameters for a paper node. */
+const TechnologyParams &node_params(TechNode node);
+
+/** Look up a paper node by name ("70nm", "100nm", ...); fatal if unknown. */
+const TechnologyParams &node_params_by_name(const std::string &name);
+
+/** Printable node name. */
+const char *node_name(TechNode node);
+
+} // namespace leakbound::power
+
+#endif // LEAKBOUND_POWER_TECHNOLOGY_HPP

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Implementation of the Figure 9 prefetchability analysis.
+ */
+
+#include "prefetch/prefetchability.hpp"
+
+#include "util/logging.hpp"
+
+namespace leakbound::prefetch {
+
+using interval::IntervalKind;
+using interval::PrefetchClass;
+
+PrefetchabilityReport
+analyze_prefetchability(const interval::IntervalHistogramSet &set,
+                        const core::InflectionPoints &points)
+{
+    PrefetchabilityReport report;
+
+    const Cycles a = points.active_drowsy;
+    const Cycles b = points.drowsy_sleep;
+
+    set.for_each_cell([&](const interval::CellRef &cell) {
+        if (cell.kind != IntervalKind::Inner)
+            return;
+        // Cells never straddle a or b: both are histogram edges.
+        BucketBreakdown *bucket;
+        if (cell.lower > b)
+            bucket = &report.sleep_bucket;
+        else if (cell.lower > a)
+            bucket = &report.drowsy_bucket;
+        else
+            bucket = &report.short_bucket;
+
+        // Intervals of length <= a are always kept active; the paper
+        // counts them as non-prefetchable regardless of coverage.
+        PrefetchClass pf = cell.pf;
+        if (bucket == &report.short_bucket)
+            pf = PrefetchClass::NonPrefetchable;
+
+        switch (pf) {
+          case PrefetchClass::NextLine:
+            bucket->next_line += cell.count;
+            break;
+          case PrefetchClass::Stride:
+            bucket->stride += cell.count;
+            break;
+          case PrefetchClass::NonPrefetchable:
+            bucket->non_prefetchable += cell.count;
+            break;
+        }
+    });
+
+    const std::uint64_t total = report.short_bucket.total() +
+                                report.drowsy_bucket.total() +
+                                report.sleep_bucket.total();
+    if (total > 0) {
+        const double n = static_cast<double>(total);
+        const std::uint64_t nl = report.drowsy_bucket.next_line +
+                                 report.sleep_bucket.next_line;
+        const std::uint64_t st = report.drowsy_bucket.stride +
+                                 report.sleep_bucket.stride;
+        report.next_line_fraction = static_cast<double>(nl) / n;
+        report.stride_fraction = static_cast<double>(st) / n;
+        report.total_fraction =
+            static_cast<double>(nl + st) / n;
+    }
+    return report;
+}
+
+} // namespace leakbound::prefetch

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Prefetchability reporting (paper Figure 9).
+ *
+ * Summarizes an interval population into the paper's three length
+ * buckets — (0, a], (a, b], (b, +inf) — split by prefetch class, and
+ * computes the headline "prefetchability" ratios (prefetchable
+ * intervals / total intervals).
+ */
+
+#ifndef LEAKBOUND_PREFETCH_PREFETCHABILITY_HPP
+#define LEAKBOUND_PREFETCH_PREFETCHABILITY_HPP
+
+#include "core/inflection.hpp"
+#include "interval/interval_histogram.hpp"
+
+namespace leakbound::prefetch {
+
+/** Interval counts for one length bucket of Figure 9. */
+struct BucketBreakdown
+{
+    std::uint64_t next_line = 0;        ///< NL-prefetchable intervals
+    std::uint64_t stride = 0;           ///< stride-prefetchable intervals
+    std::uint64_t non_prefetchable = 0; ///< the rest
+
+    /** All intervals in the bucket. */
+    std::uint64_t total() const
+    {
+        return next_line + stride + non_prefetchable;
+    }
+};
+
+/** The full Figure 9 summary for one cache. */
+struct PrefetchabilityReport
+{
+    BucketBreakdown short_bucket;  ///< (0, a]   — kept active, counted NP
+    BucketBreakdown drowsy_bucket; ///< (a, b]
+    BucketBreakdown sleep_bucket;  ///< (b, +inf)
+
+    /** Fraction of all Inner intervals covered by next-line. */
+    double next_line_fraction = 0.0;
+    /** Fraction covered by stride (disjoint from next-line). */
+    double stride_fraction = 0.0;
+    /** Total prefetchability (the paper's headline per-cache number). */
+    double total_fraction = 0.0;
+};
+
+/**
+ * Build the report from an interval population and the inflection
+ * points of the technology under study.  Only Inner intervals
+ * participate (the paper's prefetchability is about re-accesses);
+ * intervals no longer than `a` are counted non-prefetchable, exactly
+ * as the paper specifies.
+ */
+PrefetchabilityReport
+analyze_prefetchability(const interval::IntervalHistogramSet &set,
+                        const core::InflectionPoints &points);
+
+} // namespace leakbound::prefetch
+
+#endif // LEAKBOUND_PREFETCH_PREFETCHABILITY_HPP

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * PC-indexed stride predictor (Farkas et al. [3], as used by the
+ * paper, Section 5.1): per static load, a miss/access is considered
+ * stride-covered once the same stride has been observed at least
+ * twice and the current address extends the run.
+ *
+ * Modeled as a direct-mapped hardware table with PC tags (capacity
+ * collisions behave like the real structure), plus an "ideal"
+ * unbounded mode for limit studies.
+ */
+
+#ifndef LEAKBOUND_PREFETCH_STRIDE_HPP
+#define LEAKBOUND_PREFETCH_STRIDE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace leakbound::prefetch {
+
+/** Configuration of the stride table. */
+struct StrideConfig
+{
+    std::uint32_t table_entries = 4096; ///< power of two; 0 = unbounded
+    std::uint32_t confirmations = 2;    ///< strides seen before trusting
+};
+
+/**
+ * Stride predictor.  access() returns whether the access was covered
+ * *before* learning from it (so the prediction is causally honest).
+ */
+class StridePredictor
+{
+  public:
+    explicit StridePredictor(const StrideConfig &config = StrideConfig{});
+
+    /**
+     * Observe a load/store by instruction @p pc to byte address
+     * @p addr.  @return true when a twice-confirmed stride predicted
+     * an address in the same cache line of @p line_bytes granularity.
+     */
+    bool access(Pc pc, Addr addr, std::uint32_t line_bytes = 64);
+
+    /** Covered accesses so far. */
+    std::uint64_t covered() const { return covered_; }
+
+    /** Total accesses so far. */
+    std::uint64_t observed() const { return observed_; }
+
+    /** Forget everything. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Pc tag = 0;
+        Addr last_addr = 0;
+        std::int64_t stride = 0;
+        std::uint32_t confidence = 0;
+        bool valid = false;
+    };
+
+    Entry &slot_for(Pc pc);
+
+    StrideConfig config_;
+    std::vector<Entry> table_;
+    std::uint64_t covered_ = 0;
+    std::uint64_t observed_ = 0;
+};
+
+} // namespace leakbound::prefetch
+
+#endif // LEAKBOUND_PREFETCH_STRIDE_HPP

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Implementation of the set-associative cache model.
+ */
+
+#include "sim/cache.hpp"
+
+#include "util/logging.hpp"
+
+namespace leakbound::sim {
+
+Cache::Cache(const CacheConfig &config, std::uint64_t seed)
+    : config_(config), seed_(seed)
+{
+    config_.validate();
+    frames_.resize(config_.num_frames());
+    repl_ = make_replacement(config_.replacement, config_.num_sets(),
+                             config_.associativity, seed_);
+}
+
+AccessResult
+Cache::access(Addr addr)
+{
+    const Addr block = config_.block_of(addr);
+    const std::uint64_t set = config_.set_of_block(block);
+    const std::uint32_t ways = config_.associativity;
+    const std::uint64_t base = set * ways;
+
+    ++stats_.accesses;
+
+    AccessResult result;
+    // Hit path: scan the set for the block.
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        const Frame &f = frames_[base + w];
+        if (f.valid && f.block == block) {
+            repl_->on_hit(set, w);
+            ++stats_.hits;
+            result.hit = true;
+            result.frame = static_cast<FrameId>(base + w);
+            return result;
+        }
+    }
+
+    // Miss path: prefer an invalid way; otherwise ask the policy.
+    ++stats_.misses;
+    std::uint32_t way = ways; // sentinel
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        if (!frames_[base + w].valid) {
+            way = w;
+            break;
+        }
+    }
+    if (way == ways) {
+        way = repl_->victim_way(set);
+        LEAKBOUND_ASSERT(way < ways, "replacement returned bad way ", way);
+        result.evicted = true;
+        result.victim_block = frames_[base + way].block;
+        ++stats_.evictions;
+    }
+
+    Frame &f = frames_[base + way];
+    f.valid = true;
+    f.block = block;
+    repl_->on_fill(set, way);
+    result.frame = static_cast<FrameId>(base + way);
+    return result;
+}
+
+FrameId
+Cache::frame_of_block(Addr block) const
+{
+    const std::uint64_t set = config_.set_of_block(block);
+    const std::uint32_t ways = config_.associativity;
+    const std::uint64_t base = set * ways;
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        const Frame &f = frames_[base + w];
+        if (f.valid && f.block == block)
+            return static_cast<FrameId>(base + w);
+    }
+    return kInvalidFrame;
+}
+
+Addr
+Cache::block_in_frame(FrameId frame) const
+{
+    LEAKBOUND_ASSERT(frame < frames_.size(), "frame id out of range");
+    return frames_[frame].valid ? frames_[frame].block : kInvalidAddr;
+}
+
+void
+Cache::reset()
+{
+    for (auto &f : frames_) {
+        f.valid = false;
+        f.block = kInvalidAddr;
+    }
+    stats_ = CacheStats{};
+    repl_ = make_replacement(config_.replacement, config_.num_sets(),
+                             config_.associativity, seed_);
+}
+
+} // namespace leakbound::sim

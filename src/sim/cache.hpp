@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Set-associative cache model (block-granular, tag-only).
+ *
+ * The model tracks residency, replacement and statistics; data values
+ * are irrelevant to the leakage study.  Frames are identified by
+ * FrameId = set * ways + way, the identifier the interval machinery
+ * keys on (leakage is a property of the physical frame, not of the
+ * block resident in it).
+ */
+
+#ifndef LEAKBOUND_SIM_CACHE_HPP
+#define LEAKBOUND_SIM_CACHE_HPP
+
+#include <memory>
+#include <vector>
+
+#include "sim/cache_config.hpp"
+#include "sim/replacement.hpp"
+#include "util/types.hpp"
+
+namespace leakbound::sim {
+
+/** Outcome of one cache access. */
+struct AccessResult
+{
+    bool hit = false;          ///< block was resident
+    FrameId frame = kInvalidFrame; ///< frame accessed (or filled)
+    bool evicted = false;      ///< a valid block was displaced
+    Addr victim_block = kInvalidAddr; ///< displaced block number
+};
+
+/** Running cache statistics. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+
+    /** misses / accesses (0 when idle). */
+    double miss_rate() const
+    {
+        return accesses ? static_cast<double>(misses) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+    }
+};
+
+/**
+ * One cache level.  Accesses are by byte address; allocate-on-miss,
+ * no inclusion/exclusion enforcement (the hierarchy composes levels).
+ */
+class Cache
+{
+  public:
+    /** @param config validated geometry; @param seed for Random repl. */
+    explicit Cache(const CacheConfig &config, std::uint64_t seed = 1);
+
+    /** Access byte address @p addr: hit or allocate. */
+    AccessResult access(Addr addr);
+
+    /**
+     * Frame currently holding @p block (a block number, not a byte
+     * address); kInvalidFrame when not resident.
+     */
+    FrameId frame_of_block(Addr block) const;
+
+    /** Block number resident in @p frame; kInvalidAddr when invalid. */
+    Addr block_in_frame(FrameId frame) const;
+
+    /** Geometry. */
+    const CacheConfig &config() const { return config_; }
+
+    /** Physical frame count. */
+    std::uint64_t num_frames() const { return config_.num_frames(); }
+
+    /** Statistics so far. */
+    const CacheStats &stats() const { return stats_; }
+
+    /** Invalidate everything and clear statistics. */
+    void reset();
+
+  private:
+    struct Frame
+    {
+        Addr block = kInvalidAddr;
+        bool valid = false;
+    };
+
+    CacheConfig config_;
+    std::vector<Frame> frames_;
+    std::unique_ptr<ReplacementPolicy> repl_;
+    CacheStats stats_;
+    std::uint64_t seed_;
+};
+
+} // namespace leakbound::sim
+
+#endif // LEAKBOUND_SIM_CACHE_HPP

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Implementation of the three-level hierarchy.
+ */
+
+#include "sim/hierarchy.hpp"
+
+#include "util/logging.hpp"
+
+namespace leakbound::sim {
+
+void
+HierarchyConfig::validate() const
+{
+    l1i.validate();
+    l1d.validate();
+    l2.validate();
+    if (memory_latency <= l2.hit_latency) {
+        util::fatal("memory latency (", memory_latency,
+                    ") must exceed the L2 hit latency (", l2.hit_latency,
+                    ")");
+    }
+}
+
+Hierarchy::Hierarchy(const HierarchyConfig &config)
+    : config_(config), l1i_(config.l1i, /*seed=*/11),
+      l1d_(config.l1d, /*seed=*/13), l2_(config.l2, /*seed=*/17)
+{
+    config_.validate();
+}
+
+HierarchyResult
+Hierarchy::access_through(Cache &l1, Addr addr)
+{
+    HierarchyResult out;
+    out.l1 = l1.access(addr);
+    if (out.l1.hit) {
+        out.latency = l1.config().hit_latency;
+        return out;
+    }
+    out.l2 = l2_.access(addr);
+    out.l2_hit = out.l2.hit;
+    out.latency = out.l2.hit ? l2_.config().hit_latency
+                             : config_.memory_latency;
+    return out;
+}
+
+HierarchyResult
+Hierarchy::access_instr(Pc pc)
+{
+    return access_through(l1i_, pc);
+}
+
+HierarchyResult
+Hierarchy::access_data(Addr addr)
+{
+    return access_through(l1d_, addr);
+}
+
+} // namespace leakbound::sim

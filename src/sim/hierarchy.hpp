@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Three-level memory hierarchy: split L1 (I/D) over a unified L2 over
+ * flat memory, with the paper's latencies (Section 4.1).
+ */
+
+#ifndef LEAKBOUND_SIM_HIERARCHY_HPP
+#define LEAKBOUND_SIM_HIERARCHY_HPP
+
+#include "sim/cache.hpp"
+
+namespace leakbound::sim {
+
+/** Full hierarchy configuration. */
+struct HierarchyConfig
+{
+    CacheConfig l1i = CacheConfig::alpha_l1i();
+    CacheConfig l1d = CacheConfig::alpha_l1d();
+    CacheConfig l2 = CacheConfig::alpha_l2();
+    Cycles memory_latency = 100; ///< L2 miss service time
+
+    /** Validate all levels. */
+    void validate() const;
+};
+
+/** Outcome of one hierarchy access. */
+struct HierarchyResult
+{
+    AccessResult l1;       ///< the L1-level outcome (frame etc.)
+    bool l2_hit = false;   ///< meaningful only when !l1.hit
+    /** The L2-level outcome; valid only when the L1 missed
+     *  (l2.frame == kInvalidFrame otherwise). */
+    AccessResult l2;
+    Cycles latency = 0;    ///< total service latency in cycles
+};
+
+/**
+ * The simulated memory system.  Instruction fetches go to L1I, data
+ * accesses to L1D; both miss into the shared L2 and then memory.
+ */
+class Hierarchy
+{
+  public:
+    explicit Hierarchy(const HierarchyConfig &config);
+
+    /** Fetch the instruction line containing @p pc. */
+    HierarchyResult access_instr(Pc pc);
+
+    /** Load/store the data line containing @p addr. */
+    HierarchyResult access_data(Addr addr);
+
+    /** The instruction L1. */
+    Cache &l1i() { return l1i_; }
+    const Cache &l1i() const { return l1i_; }
+
+    /** The data L1. */
+    Cache &l1d() { return l1d_; }
+    const Cache &l1d() const { return l1d_; }
+
+    /** The unified L2. */
+    Cache &l2() { return l2_; }
+    const Cache &l2() const { return l2_; }
+
+    /** Configuration in force. */
+    const HierarchyConfig &config() const { return config_; }
+
+  private:
+    HierarchyResult access_through(Cache &l1, Addr addr);
+
+    HierarchyConfig config_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+};
+
+} // namespace leakbound::sim
+
+#endif // LEAKBOUND_SIM_HIERARCHY_HPP

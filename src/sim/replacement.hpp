@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Replacement policy machinery for the set-associative cache model.
+ *
+ * Policies track recency/insertion metadata per frame and pick victims
+ * per set.  They are driven by the Cache (sim/cache.hpp): on_hit() per
+ * hit, on_fill() per fill, victim_way() per replacement decision.
+ */
+
+#ifndef LEAKBOUND_SIM_REPLACEMENT_HPP
+#define LEAKBOUND_SIM_REPLACEMENT_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/cache_config.hpp"
+#include "util/random.hpp"
+#include "util/types.hpp"
+
+namespace leakbound::sim {
+
+/** Abstract replacement policy over a sets x ways frame grid. */
+class ReplacementPolicy
+{
+  public:
+    /** @param sets number of sets; @param ways associativity. */
+    ReplacementPolicy(std::uint64_t sets, std::uint32_t ways)
+        : sets_(sets), ways_(ways)
+    {
+    }
+    virtual ~ReplacementPolicy() = default;
+
+    /** A resident block in (set, way) was re-accessed. */
+    virtual void on_hit(std::uint64_t set, std::uint32_t way) = 0;
+
+    /** A block was filled into (set, way). */
+    virtual void on_fill(std::uint64_t set, std::uint32_t way) = 0;
+
+    /** Pick the victim way in @p set (all ways are valid). */
+    virtual std::uint32_t victim_way(std::uint64_t set) = 0;
+
+  protected:
+    std::uint64_t sets_;
+    std::uint32_t ways_;
+};
+
+/**
+ * Construct the policy selected by @p kind.
+ * @param seed used only by Random.
+ */
+std::unique_ptr<ReplacementPolicy>
+make_replacement(ReplacementKind kind, std::uint64_t sets,
+                 std::uint32_t ways, std::uint64_t seed = 1);
+
+} // namespace leakbound::sim
+
+#endif // LEAKBOUND_SIM_REPLACEMENT_HPP

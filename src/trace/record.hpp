@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Abstract instruction and access records.
+ *
+ * The limit study never inspects opcode semantics; an instruction is
+ * fully described by its PC, whether it touches memory, and the data
+ * address if so (DESIGN.md §3, Alpha-ISA substitution).
+ */
+
+#ifndef LEAKBOUND_TRACE_RECORD_HPP
+#define LEAKBOUND_TRACE_RECORD_HPP
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace leakbound::trace {
+
+/** Instruction classes the timing model distinguishes. */
+enum class InstrKind : std::uint8_t {
+    Op,    ///< non-memory instruction
+    Load,  ///< memory read
+    Store, ///< memory write
+};
+
+/** One dynamic instruction produced by a workload generator. */
+struct MicroOp
+{
+    Pc pc = 0;                       ///< instruction address (bytes)
+    InstrKind kind = InstrKind::Op;  ///< class
+    Addr addr = kInvalidAddr;        ///< data address for Load/Store
+};
+
+/** One timed cache access, as dumped/replayed by trace_io. */
+struct TimedAccess
+{
+    Cycle cycle = 0;                ///< completion-ordered timestamp
+    Pc pc = 0;                      ///< accessing instruction
+    Addr addr = 0;                  ///< byte address accessed
+    InstrKind kind = InstrKind::Op; ///< Op encodes instruction fetches
+};
+
+} // namespace leakbound::trace
+
+#endif // LEAKBOUND_TRACE_RECORD_HPP

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Implementation of binary trace IO.
+ */
+
+#include "trace/trace_io.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "util/logging.hpp"
+
+namespace leakbound::trace {
+
+namespace {
+
+constexpr char kMagic[8] = {'l', 'k', 'b', 't', 'r', 'c', '0', '1'};
+
+/** On-disk record layout (little-endian, packed by hand). */
+struct DiskRecord
+{
+    std::uint64_t cycle;
+    std::uint64_t pc;
+    std::uint64_t addr;
+    std::uint8_t kind;
+    std::uint8_t pad[7];
+};
+static_assert(sizeof(DiskRecord) == 32, "trace record layout drifted");
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+    : file_(std::fopen(path.c_str(), "wb"))
+{
+    if (!file_)
+        util::fatal("cannot create trace file: ", path);
+    if (std::fwrite(kMagic, 1, sizeof(kMagic), file_) != sizeof(kMagic))
+        util::fatal("cannot write trace header: ", path);
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+TraceWriter::write(const TimedAccess &rec)
+{
+    DiskRecord disk{};
+    disk.cycle = rec.cycle;
+    disk.pc = rec.pc;
+    disk.addr = rec.addr;
+    disk.kind = static_cast<std::uint8_t>(rec.kind);
+    if (std::fwrite(&disk, sizeof(disk), 1, file_) != 1)
+        util::fatal("short write to trace file");
+    ++count_;
+}
+
+TraceReader::TraceReader(const std::string &path)
+    : file_(std::fopen(path.c_str(), "rb"))
+{
+    if (!file_)
+        util::fatal("cannot open trace file: ", path);
+    char magic[sizeof(kMagic)];
+    if (std::fread(magic, 1, sizeof(magic), file_) != sizeof(magic) ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        util::fatal("not a leakbound trace file: ", path);
+    }
+}
+
+TraceReader::~TraceReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+TraceReader::next(TimedAccess &rec)
+{
+    DiskRecord disk;
+    if (std::fread(&disk, sizeof(disk), 1, file_) != 1)
+        return false;
+    rec.cycle = disk.cycle;
+    rec.pc = disk.pc;
+    rec.addr = disk.addr;
+    rec.kind = static_cast<InstrKind>(disk.kind);
+    ++count_;
+    return true;
+}
+
+} // namespace leakbound::trace

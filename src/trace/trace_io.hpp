@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Binary trace file writer/reader.
+ *
+ * Lets users capture the timed access stream of a run and re-analyze
+ * it offline (or feed externally captured traces into the interval
+ * machinery).  Format: 16-byte magic+version header followed by
+ * fixed-width little-endian records; no compression (traces are
+ * intermediate artifacts here, not archives).
+ */
+
+#ifndef LEAKBOUND_TRACE_TRACE_IO_HPP
+#define LEAKBOUND_TRACE_TRACE_IO_HPP
+
+#include <cstdio>
+#include <string>
+
+#include "trace/record.hpp"
+
+namespace leakbound::trace {
+
+/** Streams TimedAccess records to a binary file (RAII close). */
+class TraceWriter
+{
+  public:
+    /** Open @p path; fatal() if it cannot be created. */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one record. */
+    void write(const TimedAccess &rec);
+
+    /** Records written so far. */
+    std::uint64_t count() const { return count_; }
+
+  private:
+    std::FILE *file_;
+    std::uint64_t count_ = 0;
+};
+
+/** Reads a trace file written by TraceWriter. */
+class TraceReader
+{
+  public:
+    /** Open @p path; fatal() on missing file or bad magic. */
+    explicit TraceReader(const std::string &path);
+    ~TraceReader();
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    /** Read the next record; false at end of file. */
+    bool next(TimedAccess &rec);
+
+    /** Records read so far. */
+    std::uint64_t count() const { return count_; }
+
+  private:
+    std::FILE *file_;
+    std::uint64_t count_ = 0;
+};
+
+} // namespace leakbound::trace
+
+#endif // LEAKBOUND_TRACE_TRACE_IO_HPP

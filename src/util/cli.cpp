@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Implementation of the command-line flag parser.
+ */
+
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/logging.hpp"
+#include "util/string_utils.hpp"
+
+namespace leakbound::util {
+
+Cli::Cli(std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+}
+
+void
+Cli::add_flag(const std::string &name, const std::string &desc,
+              const std::string &default_value)
+{
+    Flag flag;
+    flag.desc = desc;
+    flag.default_value = default_value;
+    flag.value = default_value;
+    flags_[name] = std::move(flag);
+}
+
+void
+Cli::parse(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(usage().c_str(), stdout);
+            std::exit(0);
+        }
+        if (!starts_with(arg, "--"))
+            fatal("unexpected positional argument: ", arg);
+        arg = arg.substr(2);
+        std::string key;
+        std::string value;
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            key = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+        } else {
+            key = arg;
+            auto it = flags_.find(key);
+            if (it == flags_.end())
+                fatal("unknown flag --", key, "\n", usage());
+            // `--flag value` form, unless the next token is another flag
+            // or this is the last token (then treat as boolean true).
+            if (i + 1 < argc && !starts_with(argv[i + 1], "--"))
+                value = argv[++i];
+            else
+                value = "true";
+        }
+        auto it = flags_.find(key);
+        if (it == flags_.end())
+            fatal("unknown flag --", key, "\n", usage());
+        it->second.value = value;
+        it->second.set = true;
+    }
+}
+
+const Cli::Flag &
+Cli::lookup(const std::string &name) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        LEAKBOUND_PANIC("flag not registered: ", name);
+    return it->second;
+}
+
+std::string
+Cli::get(const std::string &name) const
+{
+    return lookup(name).value;
+}
+
+std::uint64_t
+Cli::get_u64(const std::string &name) const
+{
+    const std::string &v = lookup(name).value;
+    char *end = nullptr;
+    const std::uint64_t out = std::strtoull(v.c_str(), &end, 0);
+    if (end == v.c_str() || *end != '\0')
+        fatal("flag --", name, " expects an unsigned integer, got '", v,
+              "'");
+    return out;
+}
+
+double
+Cli::get_double(const std::string &name) const
+{
+    const std::string &v = lookup(name).value;
+    char *end = nullptr;
+    const double out = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0')
+        fatal("flag --", name, " expects a number, got '", v, "'");
+    return out;
+}
+
+bool
+Cli::get_bool(const std::string &name) const
+{
+    const std::string v = to_lower(lookup(name).value);
+    return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::string
+Cli::usage() const
+{
+    std::ostringstream os;
+    os << name_ << " - " << desc_ << "\n\nflags:\n";
+    for (const auto &[key, flag] : flags_) {
+        os << "  --" << key << " (default: " << flag.default_value
+           << ")\n      " << flag.desc << '\n';
+    }
+    return os.str();
+}
+
+} // namespace leakbound::util

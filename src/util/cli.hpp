@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tiny command-line flag parser for the bench and example binaries.
+ *
+ * Flags use the form `--name=value` or `--name value`; bare `--name`
+ * sets a boolean.  Unknown flags are fatal (the binaries have small,
+ * documented surfaces and silent typos would corrupt experiments).
+ */
+
+#ifndef LEAKBOUND_UTIL_CLI_HPP
+#define LEAKBOUND_UTIL_CLI_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace leakbound::util {
+
+/**
+ * Declarative flag registry + parser.  Usage:
+ * @code
+ *   Cli cli("fig8_schemes", "Reproduce Figure 8");
+ *   cli.add_flag("instructions", "instructions per benchmark", "8000000");
+ *   cli.parse(argc, argv);
+ *   auto n = cli.get_u64("instructions");
+ * @endcode
+ */
+class Cli
+{
+  public:
+    /** @param name program name; @param desc one-line description. */
+    Cli(std::string name, std::string desc);
+
+    /** Register a flag with a default value. */
+    void add_flag(const std::string &name, const std::string &desc,
+                  const std::string &default_value);
+
+    /**
+     * Parse argv.  Handles --help by printing usage and exiting 0.
+     * Unknown flags call fatal().
+     */
+    void parse(int argc, char **argv);
+
+    /** String value of a flag (default if not given). */
+    std::string get(const std::string &name) const;
+
+    /** Unsigned integer value of a flag. */
+    std::uint64_t get_u64(const std::string &name) const;
+
+    /** Double value of a flag. */
+    double get_double(const std::string &name) const;
+
+    /** Boolean value: "1", "true", "yes", "on" are true. */
+    bool get_bool(const std::string &name) const;
+
+    /** Render the --help text. */
+    std::string usage() const;
+
+  private:
+    struct Flag
+    {
+        std::string desc;
+        std::string default_value;
+        std::string value;
+        bool set = false;
+    };
+
+    const Flag &lookup(const std::string &name) const;
+
+    std::string name_;
+    std::string desc_;
+    std::map<std::string, Flag> flags_;
+};
+
+} // namespace leakbound::util
+
+#endif // LEAKBOUND_UTIL_CLI_HPP

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Implementation of the CSV writer.
+ */
+
+#include "util/csv.hpp"
+
+#include "util/logging.hpp"
+
+namespace leakbound::util {
+
+CsvWriter::CsvWriter(const std::string &path)
+    : out_(path)
+{
+    if (!out_)
+        fatal("cannot open CSV output file: ", path);
+}
+
+void
+CsvWriter::write_row(const std::vector<std::string> &fields)
+{
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << escape(fields[i]);
+    }
+    out_ << '\n';
+    wrote_ = true;
+}
+
+std::string
+CsvWriter::escape(const std::string &field)
+{
+    const bool needs_quotes =
+        field.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+} // namespace leakbound::util

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Minimal CSV writer.  Benches optionally mirror their tables to CSV so
+ * downstream plotting scripts can regenerate the paper's figures.
+ */
+
+#ifndef LEAKBOUND_UTIL_CSV_HPP
+#define LEAKBOUND_UTIL_CSV_HPP
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace leakbound::util {
+
+/**
+ * Streams rows of string fields to a CSV file, quoting fields that need
+ * it.  The file is flushed and closed on destruction (RAII).
+ */
+class CsvWriter
+{
+  public:
+    /**
+     * Open @p path for writing; calls fatal() if the file cannot be
+     * created (user-environment problem, not a library bug).
+     */
+    explicit CsvWriter(const std::string &path);
+
+    /** Write one row. */
+    void write_row(const std::vector<std::string> &fields);
+
+    /** True once at least one row has been written. */
+    bool wrote_anything() const { return wrote_; }
+
+    /** Quote a field per RFC 4180 if it contains , " or newline. */
+    static std::string escape(const std::string &field);
+
+  private:
+    std::ofstream out_;
+    bool wrote_ = false;
+};
+
+} // namespace leakbound::util
+
+#endif // LEAKBOUND_UTIL_CSV_HPP

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Implementation of the edge-list histogram.
+ */
+
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace leakbound::util {
+
+Histogram::Histogram(std::vector<std::uint64_t> edges)
+    : edges_(std::move(edges))
+{
+    LEAKBOUND_ASSERT(!edges_.empty(), "histogram needs at least one edge");
+    LEAKBOUND_ASSERT(std::is_sorted(edges_.begin(), edges_.end()),
+                     "histogram edges must be sorted");
+    LEAKBOUND_ASSERT(
+        std::adjacent_find(edges_.begin(), edges_.end()) == edges_.end(),
+        "histogram edges must be unique");
+    // One bin per edge: bin i = [edges[i], edges[i+1]); last bin is
+    // the overflow bin [edges.back(), +inf).  Samples below edges[0]
+    // are clamped into bin 0 (callers are expected to pass edge 0).
+    bins_.resize(edges_.size());
+}
+
+void
+Histogram::add(std::uint64_t value)
+{
+    add_many(value, 1);
+}
+
+void
+Histogram::add_many(std::uint64_t value, std::uint64_t n)
+{
+    auto &b = bins_[bin_index(value)];
+    b.count += n;
+    b.sum += value * n;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    LEAKBOUND_ASSERT(edges_ == other.edges_,
+                     "merging histograms with different edges");
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        bins_[i].count += other.bins_[i].count;
+        bins_[i].sum += other.bins_[i].sum;
+    }
+}
+
+std::uint64_t
+Histogram::lower_edge(std::size_t i) const
+{
+    LEAKBOUND_ASSERT(i < bins_.size(), "bin index out of range");
+    return edges_[i];
+}
+
+std::uint64_t
+Histogram::upper_edge(std::size_t i) const
+{
+    LEAKBOUND_ASSERT(i < bins_.size(), "bin index out of range");
+    return i + 1 < edges_.size() ? edges_[i + 1]
+                                 : ~static_cast<std::uint64_t>(0);
+}
+
+const HistBin &
+Histogram::bin(std::size_t i) const
+{
+    LEAKBOUND_ASSERT(i < bins_.size(), "bin index out of range");
+    return bins_[i];
+}
+
+std::size_t
+Histogram::bin_index(std::uint64_t value) const
+{
+    // upper_bound returns the first edge strictly greater than value;
+    // the containing bin is the one before it.
+    auto it = std::upper_bound(edges_.begin(), edges_.end(), value);
+    if (it == edges_.begin())
+        return 0; // clamp below-range samples into bin 0
+    return static_cast<std::size_t>(it - edges_.begin()) - 1;
+}
+
+std::uint64_t
+Histogram::total_count() const
+{
+    std::uint64_t total = 0;
+    for (const auto &b : bins_)
+        total += b.count;
+    return total;
+}
+
+std::uint64_t
+Histogram::total_sum() const
+{
+    std::uint64_t total = 0;
+    for (const auto &b : bins_)
+        total += b.sum;
+    return total;
+}
+
+std::string
+Histogram::dump() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        if (bins_[i].count == 0)
+            continue;
+        os << '[' << lower_edge(i) << ", ";
+        if (i + 1 < edges_.size())
+            os << upper_edge(i);
+        else
+            os << "inf";
+        os << "): count=" << bins_[i].count << " sum=" << bins_[i].sum
+           << '\n';
+    }
+    return os.str();
+}
+
+std::vector<std::uint64_t>
+Histogram::log2_edges(std::uint64_t max_value)
+{
+    std::vector<std::uint64_t> edges{0, 1};
+    for (std::uint64_t e = 2; e < max_value && e != 0; e <<= 1)
+        edges.push_back(e);
+    edges.push_back(max_value);
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    return edges;
+}
+
+} // namespace leakbound::util

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Generic edge-list histogram over unsigned 64-bit samples.
+ *
+ * Bins are half-open ranges defined by a sorted edge list
+ * `[e0, e1, ..., en]`: bin i covers `[e_i, e_{i+1})`, with an implicit
+ * overflow bin `[e_n, +inf)`.  Each bin tracks both the sample count and
+ * the sum of samples, which lets linear functions of the samples be
+ * evaluated *exactly* per bin — the key trick exploited by
+ * interval::IntervalHistogram (see DESIGN.md §5).
+ */
+
+#ifndef LEAKBOUND_UTIL_HISTOGRAM_HPP
+#define LEAKBOUND_UTIL_HISTOGRAM_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace leakbound::util {
+
+/** Count and sum of the samples falling into one histogram bin. */
+struct HistBin
+{
+    std::uint64_t count = 0; ///< number of samples in the bin
+    std::uint64_t sum = 0;   ///< sum of sample values in the bin
+};
+
+/**
+ * Edge-list histogram of u64 samples with per-bin count and sum.
+ */
+class Histogram
+{
+  public:
+    /**
+     * Construct from sorted, deduplicated edges.  Edges that are
+     * unsorted or duplicated are a caller bug (panics).
+     * @param edges bin boundaries; must contain at least one element.
+     */
+    explicit Histogram(std::vector<std::uint64_t> edges);
+
+    /** Add one sample. */
+    void add(std::uint64_t value);
+
+    /** Add @p n identical samples of @p value. */
+    void add_many(std::uint64_t value, std::uint64_t n);
+
+    /** Merge a histogram with identical edges into this one. */
+    void merge(const Histogram &other);
+
+    /** Number of bins, including the overflow bin. */
+    std::size_t num_bins() const { return bins_.size(); }
+
+    /** Lower edge of bin @p i. */
+    std::uint64_t lower_edge(std::size_t i) const;
+
+    /**
+     * Upper edge of bin @p i (exclusive); UINT64_MAX for the overflow
+     * bin.
+     */
+    std::uint64_t upper_edge(std::size_t i) const;
+
+    /** Bin contents. */
+    const HistBin &bin(std::size_t i) const;
+
+    /** Index of the bin containing @p value. */
+    std::size_t bin_index(std::uint64_t value) const;
+
+    /** Total samples across all bins. */
+    std::uint64_t total_count() const;
+
+    /** Total sum across all bins. */
+    std::uint64_t total_sum() const;
+
+    /** The edge list this histogram was built from. */
+    const std::vector<std::uint64_t> &edges() const { return edges_; }
+
+    /** Render a compact textual summary (one line per non-empty bin). */
+    std::string dump() const;
+
+    /**
+     * Build a log2-spaced edge list covering [1, max_value], useful for
+     * distribution reporting.
+     */
+    static std::vector<std::uint64_t> log2_edges(std::uint64_t max_value);
+
+  private:
+    std::vector<std::uint64_t> edges_;
+    std::vector<HistBin> bins_;
+};
+
+} // namespace leakbound::util
+
+#endif // LEAKBOUND_UTIL_HISTOGRAM_HPP

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Implementation of gem5-style status and error reporting.
+ */
+
+#include "util/logging.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace leakbound::util {
+
+namespace {
+
+Verbosity g_verbosity = Verbosity::Normal;
+
+} // namespace
+
+void
+set_verbosity(Verbosity v)
+{
+    g_verbosity = v;
+}
+
+Verbosity
+verbosity()
+{
+    return g_verbosity;
+}
+
+bool
+debug_enabled()
+{
+    return g_verbosity == Verbosity::Debug;
+}
+
+namespace detail {
+
+void
+panic_impl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+fatal_impl(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::fflush(stderr);
+    std::exit(1);
+}
+
+void
+warn_impl(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform_impl(const std::string &msg)
+{
+    if (g_verbosity != Verbosity::Quiet)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+debug_impl(const std::string &msg)
+{
+    std::fprintf(stderr, "debug: %s\n", msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace leakbound::util

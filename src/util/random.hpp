@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in leakbound (synthetic workloads, random
+ * replacement, jitter) flows through Xoshiro256StarStar seeded via
+ * SplitMix64, so every experiment is exactly reproducible from a seed.
+ * We do not use std::mt19937 because its state is large and its
+ * cross-platform distribution guarantees are weaker than doing the
+ * range reduction ourselves.
+ */
+
+#ifndef LEAKBOUND_UTIL_RANDOM_HPP
+#define LEAKBOUND_UTIL_RANDOM_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "util/logging.hpp"
+
+namespace leakbound::util {
+
+/** SplitMix64 step; used to expand a 64-bit seed into generator state. */
+inline std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** 1.0 by Blackman & Vigna: fast, high-quality, 256-bit state.
+ */
+class Rng
+{
+  public:
+    /** Construct from a single 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x1eafb01dULL)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitmix64(sm);
+    }
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t
+    next_u64()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform draw in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    next_below(std::uint64_t bound)
+    {
+        LEAKBOUND_ASSERT(bound != 0, "next_below(0)");
+        // Lemire-style rejection-free-ish reduction with a single retry
+        // loop to remove modulo bias.
+        const std::uint64_t threshold = (~bound + 1) % bound;
+        for (;;) {
+            const std::uint64_t r = next_u64();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform draw in the closed range [lo, hi]. */
+    std::uint64_t
+    next_in(std::uint64_t lo, std::uint64_t hi)
+    {
+        LEAKBOUND_ASSERT(lo <= hi, "next_in: lo > hi");
+        return lo + next_below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    next_double()
+    {
+        return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool
+    next_bool(double p)
+    {
+        return next_double() < p;
+    }
+
+    /**
+     * Geometric-ish draw: number of failures before a success with
+     * success probability p (clamped to at least 1e-9).
+     */
+    std::uint64_t
+    next_geometric(double p)
+    {
+        if (p >= 1.0)
+            return 0;
+        if (p < 1e-9)
+            p = 1e-9;
+        std::uint64_t n = 0;
+        while (!next_bool(p) && n < 1u << 20)
+            ++n;
+        return n;
+    }
+
+    /** Derive an independent child generator (for parallel streams). */
+    Rng
+    split()
+    {
+        return Rng(next_u64() ^ 0xd3c5d1f9ad1cba57ULL);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state_{};
+};
+
+} // namespace leakbound::util
+
+#endif // LEAKBOUND_UTIL_RANDOM_HPP

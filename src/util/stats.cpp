@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Implementation of statistics accumulators and stat groups.
+ */
+
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace leakbound::util {
+
+void
+Accumulator::add(double x)
+{
+    ++count_;
+    sum_ += x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+Accumulator::merge(const Accumulator &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = na + nb;
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+Accumulator::reset()
+{
+    *this = Accumulator();
+}
+
+double
+Accumulator::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+std::size_t
+StatGroup::add(std::string name, std::string desc)
+{
+    for (std::size_t i = 0; i < stats_.size(); ++i) {
+        if (stats_[i].name == name)
+            return i;
+    }
+    stats_.push_back(Stat{std::move(name), std::move(desc), 0.0});
+    return stats_.size() - 1;
+}
+
+void
+StatGroup::inc(std::size_t idx, double delta)
+{
+    LEAKBOUND_ASSERT(idx < stats_.size(), "stat index out of range");
+    stats_[idx].value += delta;
+}
+
+void
+StatGroup::set(std::size_t idx, double value)
+{
+    LEAKBOUND_ASSERT(idx < stats_.size(), "stat index out of range");
+    stats_[idx].value = value;
+}
+
+double
+StatGroup::get(std::size_t idx) const
+{
+    LEAKBOUND_ASSERT(idx < stats_.size(), "stat index out of range");
+    return stats_[idx].value;
+}
+
+const Stat *
+StatGroup::find(const std::string &name) const
+{
+    for (const auto &s : stats_) {
+        if (s.name == name)
+            return &s;
+    }
+    return nullptr;
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream os;
+    for (const auto &s : stats_) {
+        os << s.name;
+        for (std::size_t pad = s.name.size(); pad < 40; ++pad)
+            os << ' ';
+        os << s.value << "  # " << s.desc << '\n';
+    }
+    return os.str();
+}
+
+void
+StatGroup::reset_values()
+{
+    for (auto &s : stats_)
+        s.value = 0.0;
+}
+
+} // namespace leakbound::util

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used by the simulator and the
+ * experiment harness: scalar counters, running mean/variance (Welford),
+ * and named stat groups that can be dumped as text.
+ */
+
+#ifndef LEAKBOUND_UTIL_STATS_HPP
+#define LEAKBOUND_UTIL_STATS_HPP
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace leakbound::util {
+
+/**
+ * Running scalar distribution: count, sum, min, max, mean, sample
+ * standard deviation, accumulated with Welford's algorithm so it is
+ * numerically stable for long simulations.
+ */
+class Accumulator
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Merge another accumulator into this one (parallel reduction). */
+    void merge(const Accumulator &other);
+
+    /** Reset to the empty state. */
+    void reset();
+
+    /** Number of observations. */
+    std::uint64_t count() const { return count_; }
+
+    /** Sum of observations (0 when empty). */
+    double sum() const { return sum_; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Minimum observation (+inf when empty). */
+    double min() const { return min_; }
+
+    /** Maximum observation (-inf when empty). */
+    double max() const { return max_; }
+
+    /** Population variance (0 for fewer than 2 observations). */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * A named scalar statistic inside a StatGroup.  Values are stored as
+ * doubles; integer counters round-trip exactly below 2^53.
+ */
+struct Stat
+{
+    std::string name;   ///< dotted hierarchical name, e.g. "l1d.misses"
+    std::string desc;   ///< one-line human description
+    double value = 0.0; ///< current value
+};
+
+/**
+ * An ordered collection of named statistics, gem5-stats-file flavored.
+ * Components register stats up front and bump them during simulation;
+ * the harness dumps them after a run.
+ */
+class StatGroup
+{
+  public:
+    /** Create (or fetch, if already present) a named stat. @return index */
+    std::size_t add(std::string name, std::string desc);
+
+    /** Increment stat @p idx by @p delta. */
+    void inc(std::size_t idx, double delta = 1.0);
+
+    /** Overwrite stat @p idx. */
+    void set(std::size_t idx, double value);
+
+    /** Value of stat @p idx. */
+    double get(std::size_t idx) const;
+
+    /** Look up a stat by name; returns nullptr if absent. */
+    const Stat *find(const std::string &name) const;
+
+    /** All stats in registration order. */
+    const std::vector<Stat> &all() const { return stats_; }
+
+    /** Render as "name  value  # desc" lines, gem5 stats style. */
+    std::string dump() const;
+
+    /** Reset every value to zero (definitions are kept). */
+    void reset_values();
+
+  private:
+    std::vector<Stat> stats_;
+};
+
+} // namespace leakbound::util
+
+#endif // LEAKBOUND_UTIL_STATS_HPP

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every leakbound module.
+ *
+ * The simulator measures time in CPU cycles and addresses in bytes.
+ * Energy is measured in "leakage units" (LU): the leakage energy one
+ * active cache line dissipates in one cycle is exactly 1 LU, which is
+ * the normalization used throughout the paper's equations (Eq. 1-3).
+ */
+
+#ifndef LEAKBOUND_UTIL_TYPES_HPP
+#define LEAKBOUND_UTIL_TYPES_HPP
+
+#include <cstdint>
+
+namespace leakbound {
+
+/** Byte address in the simulated address space. */
+using Addr = std::uint64_t;
+
+/** Absolute simulation time, in CPU cycles. */
+using Cycle = std::uint64_t;
+
+/** A span of simulation time, in CPU cycles. */
+using Cycles = std::uint64_t;
+
+/** Program counter of a static instruction. */
+using Pc = std::uint64_t;
+
+/**
+ * Energy in leakage units (LU·cycles).  1 LU·cycle is the leakage energy
+ * of one fully-active cache line over one cycle.
+ */
+using Energy = double;
+
+/** Power in LU/cycle (fraction of one active line's leakage power). */
+using Power = double;
+
+/** Index of a physical cache frame (set * ways + way). */
+using FrameId = std::uint32_t;
+
+/** Sentinel for "no address". */
+inline constexpr Addr kInvalidAddr = ~static_cast<Addr>(0);
+
+/** Sentinel for "no frame". */
+inline constexpr FrameId kInvalidFrame = ~static_cast<FrameId>(0);
+
+} // namespace leakbound
+
+#endif // LEAKBOUND_UTIL_TYPES_HPP

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Implementation of the composite (multi-phase) workload.
+ */
+
+#include "workload/workload.hpp"
+
+#include "util/logging.hpp"
+
+namespace leakbound::workload {
+
+CompositeWorkload::CompositeWorkload(std::string name,
+                                     std::vector<Phase> phases)
+    : name_(std::move(name)), phases_(std::move(phases))
+{
+    LEAKBOUND_ASSERT(!phases_.empty(), "composite needs phases");
+    for (const Phase &p : phases_) {
+        LEAKBOUND_ASSERT(p.child != nullptr, "composite phase is null");
+        LEAKBOUND_ASSERT(p.quantum > 0, "composite quantum must be > 0");
+    }
+}
+
+bool
+CompositeWorkload::next(trace::MicroOp &op)
+{
+    // Rotate to the next phase once the quantum is exhausted; skip
+    // phases whose child has (unusually) run dry.
+    for (std::size_t attempts = 0; attempts <= phases_.size();
+         ++attempts) {
+        Phase &phase = phases_[current_];
+        if (executed_in_phase_ >= phase.quantum) {
+            current_ = (current_ + 1) % phases_.size();
+            executed_in_phase_ = 0;
+            continue;
+        }
+        if (phase.child->next(op)) {
+            ++executed_in_phase_;
+            return true;
+        }
+        current_ = (current_ + 1) % phases_.size();
+        executed_in_phase_ = 0;
+    }
+    return false;
+}
+
+void
+CompositeWorkload::reset()
+{
+    for (Phase &p : phases_)
+        p.child->reset();
+    current_ = 0;
+    executed_in_phase_ = 0;
+}
+
+} // namespace leakbound::workload

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests of the offline Belady-MIN simulator: exactness on crafted
+ * sequences and the optimality property against every online
+ * replacement policy on seeded random streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/belady.hpp"
+#include "sim/cache.hpp"
+#include "util/random.hpp"
+
+using namespace leakbound;
+using namespace leakbound::sim;
+
+namespace {
+
+/** Single-set, 2-way, 64B-line cache (classic MIN textbook setting). */
+CacheConfig
+one_set()
+{
+    CacheConfig c;
+    c.name = "oneset";
+    c.size_bytes = 128;
+    c.line_bytes = 64;
+    c.associativity = 2;
+    return c;
+}
+
+std::vector<Addr>
+blocks(std::initializer_list<Addr> ids)
+{
+    std::vector<Addr> out;
+    for (Addr b : ids)
+        out.push_back(b * 64);
+    return out;
+}
+
+std::uint64_t
+online_misses(const CacheConfig &config, const std::vector<Addr> &addrs,
+              std::uint64_t seed = 1)
+{
+    Cache cache(config, seed);
+    for (Addr a : addrs)
+        cache.access(a);
+    return cache.stats().misses;
+}
+
+} // namespace
+
+TEST(Belady, TextbookSequenceBeatsLru)
+{
+    // A B C A B C ... with 2 ways: LRU thrashes (every access after
+    // warmup misses); MIN keeps A resident and alternates the other
+    // way, hitting A every round.
+    std::vector<Addr> seq;
+    for (int round = 0; round < 10; ++round)
+        for (Addr b : {0, 1, 2})
+            seq.push_back(b * 64);
+
+    const BeladyResult opt = simulate_belady(one_set(), seq);
+    CacheConfig lru = one_set();
+    const std::uint64_t lru_misses = online_misses(lru, seq);
+
+    EXPECT_LT(opt.stats.misses, lru_misses);
+    // MIN on a cyclic loop of N blocks with C ways hits (C-1)/(N-1)
+    // of the non-compulsory accesses: here 1/2 of 28, i.e. 14 hits.
+    EXPECT_EQ(opt.stats.hits, 14u);
+    EXPECT_EQ(opt.stats.misses, 16u);
+    EXPECT_EQ(lru_misses, 30u); // LRU thrashes completely
+}
+
+TEST(Belady, ExactHitFlags)
+{
+    // Blocks 0,2,4 map to the single set; sequence 0 2 0 4 0 2:
+    // MIN evicts 2 for 4 (2's next use is after 0's), so 0 hits at
+    // positions 2 and 4, 2 misses again at position 5.
+    const auto seq = blocks({0, 2, 0, 4, 0, 2});
+    const BeladyResult r = simulate_belady(one_set(), seq);
+    ASSERT_EQ(r.hits.size(), 6u);
+    EXPECT_FALSE(r.hits[0]);
+    EXPECT_FALSE(r.hits[1]);
+    EXPECT_TRUE(r.hits[2]);
+    EXPECT_FALSE(r.hits[3]);
+    EXPECT_TRUE(r.hits[4]);
+    EXPECT_FALSE(r.hits[5]);
+    EXPECT_EQ(r.stats.hits, 2u);
+    EXPECT_EQ(r.stats.misses, 4u);
+}
+
+TEST(Belady, StatsAreConsistent)
+{
+    util::Rng rng(7);
+    std::vector<Addr> seq;
+    for (int i = 0; i < 5000; ++i)
+        seq.push_back(rng.next_below(512) * 64);
+    const BeladyResult r = simulate_belady(one_set(), seq);
+    EXPECT_EQ(r.stats.accesses, seq.size());
+    EXPECT_EQ(r.stats.hits + r.stats.misses, r.stats.accesses);
+    std::uint64_t hit_flags = 0;
+    for (bool h : r.hits)
+        hit_flags += h;
+    EXPECT_EQ(hit_flags, r.stats.hits);
+}
+
+/** MIN never misses more than any online policy (the defining bound). */
+class BeladyOptimality
+    : public ::testing::TestWithParam<std::uint64_t /*seed*/>
+{
+};
+
+TEST_P(BeladyOptimality, BoundsEveryOnlinePolicy)
+{
+    util::Rng rng(GetParam());
+    // A mix of loops, strides and random accesses over a small space,
+    // on a 4-set 2-way cache.
+    CacheConfig config;
+    config.size_bytes = 512;
+    config.line_bytes = 64;
+    config.associativity = 2;
+
+    std::vector<Addr> seq;
+    for (int i = 0; i < 20'000; ++i) {
+        switch (rng.next_below(3)) {
+          case 0:
+            seq.push_back((i % 24) * 64); // loop
+            break;
+          case 1:
+            seq.push_back((i * 3 % 96) * 64); // stride
+            break;
+          default:
+            seq.push_back(rng.next_below(64) * 64); // random
+            break;
+        }
+    }
+
+    const BeladyResult opt = simulate_belady(config, seq);
+    for (ReplacementKind kind : {ReplacementKind::Lru,
+                                 ReplacementKind::Fifo,
+                                 ReplacementKind::Random}) {
+        CacheConfig online = config;
+        online.replacement = kind;
+        EXPECT_LE(opt.stats.misses, online_misses(online, seq))
+            << replacement_name(kind);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BeladyOptimality,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Belady, EmptyStream)
+{
+    const BeladyResult r = simulate_belady(one_set(), {});
+    EXPECT_EQ(r.stats.accesses, 0u);
+    EXPECT_TRUE(r.hits.empty());
+}

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit + property tests for the closed-form interval energy model
+ * (paper Eq. 1-2): exact values, applicability, linearity, kind
+ * handling, and the lower-envelope behaviour of optimal_mode().
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/energy_model.hpp"
+#include "core/inflection.hpp"
+#include "power/technology.hpp"
+
+using namespace leakbound;
+using namespace leakbound::core;
+using interval::IntervalKind;
+
+namespace {
+
+EnergyModel
+model70()
+{
+    return EnergyModel(power::node_params(power::TechNode::Nm70));
+}
+
+} // namespace
+
+TEST(EnergyModel, ActiveEnergyIsLength)
+{
+    const EnergyModel m = model70();
+    for (Cycles len : {0ULL, 1ULL, 6ULL, 1057ULL, 1000000ULL}) {
+        EXPECT_DOUBLE_EQ(m.energy(Mode::Active, len, IntervalKind::Inner),
+                         static_cast<double>(len));
+    }
+}
+
+TEST(EnergyModel, DrowsyInnerClosedForm)
+{
+    // E_drowsy(L) = P_A*(d1+d3) + P_D*(L-6) with P_D = 1/3.
+    const EnergyModel m = model70();
+    EXPECT_DOUBLE_EQ(m.energy(Mode::Drowsy, 6, IntervalKind::Inner), 6.0);
+    EXPECT_NEAR(m.energy(Mode::Drowsy, 306, IntervalKind::Inner),
+                6.0 + 300.0 / 3.0, 1e-9);
+}
+
+TEST(EnergyModel, SleepInnerClosedForm)
+{
+    // E_sleep(L) = P_A*37 + P_S*(L-37) + CD, P_S = 0.
+    const EnergyModel m = model70();
+    const double cd = m.tech().refetch_energy;
+    EXPECT_NEAR(m.energy(Mode::Sleep, 37, IntervalKind::Inner), 37.0 + cd,
+                1e-9);
+    EXPECT_NEAR(m.energy(Mode::Sleep, 100000, IntervalKind::Inner),
+                37.0 + cd, 1e-9); // flat: sleeping is free once entered
+    EXPECT_NEAR(m.energy(Mode::Sleep, 100000, IntervalKind::Inner,
+                         /*charge_refetch=*/false),
+                37.0, 1e-9);
+}
+
+TEST(EnergyModel, DrowsyTiesActiveExactlyAtA)
+{
+    // The full-power transition convention makes E_drowsy(a) == a.
+    const EnergyModel m = model70();
+    const Cycles a = m.tech().timings.drowsy_overhead();
+    EXPECT_DOUBLE_EQ(m.energy(Mode::Drowsy, a, IntervalKind::Inner),
+                     m.energy(Mode::Active, a, IntervalKind::Inner));
+    EXPECT_LT(m.energy(Mode::Drowsy, a + 1, IntervalKind::Inner),
+              m.energy(Mode::Active, a + 1, IntervalKind::Inner));
+}
+
+TEST(EnergyModel, ApplicabilityPerKind)
+{
+    const EnergyModel m = model70();
+    // Inner: drowsy needs d1+d3, sleep needs s1+s3+s4.
+    EXPECT_FALSE(m.applicable(Mode::Drowsy, 5, IntervalKind::Inner));
+    EXPECT_TRUE(m.applicable(Mode::Drowsy, 6, IntervalKind::Inner));
+    EXPECT_FALSE(m.applicable(Mode::Sleep, 36, IntervalKind::Inner));
+    EXPECT_TRUE(m.applicable(Mode::Sleep, 37, IntervalKind::Inner));
+    // Trailing: only the entry ramp.
+    EXPECT_TRUE(m.applicable(Mode::Drowsy, 3, IntervalKind::Trailing));
+    EXPECT_FALSE(m.applicable(Mode::Drowsy, 2, IntervalKind::Trailing));
+    EXPECT_TRUE(m.applicable(Mode::Sleep, 30, IntervalKind::Trailing));
+    EXPECT_FALSE(m.applicable(Mode::Sleep, 29, IntervalKind::Trailing));
+    // Leading/untouched: always.
+    EXPECT_TRUE(m.applicable(Mode::Sleep, 0, IntervalKind::Leading));
+    EXPECT_TRUE(m.applicable(Mode::Sleep, 0, IntervalKind::Untouched));
+}
+
+TEST(EnergyModel, LeadingAndUntouchedHaveNoOverheads)
+{
+    const EnergyModel m = model70();
+    for (IntervalKind kind :
+         {IntervalKind::Leading, IntervalKind::Untouched}) {
+        EXPECT_DOUBLE_EQ(m.energy(Mode::Sleep, 1000, kind), 0.0);
+        EXPECT_NEAR(m.energy(Mode::Drowsy, 1000, kind), 1000.0 / 3.0,
+                    1e-9);
+    }
+}
+
+TEST(EnergyModel, TrailingPaysEntryOnly)
+{
+    const EnergyModel m = model70();
+    // Sleep trailing: s1 at P_A, rest at P_S = 0, no CD.
+    EXPECT_NEAR(m.energy(Mode::Sleep, 1000, IntervalKind::Trailing), 30.0,
+                1e-9);
+    // Drowsy trailing: d1 at P_A, rest at P_D.
+    EXPECT_NEAR(m.energy(Mode::Drowsy, 1000, IntervalKind::Trailing),
+                3.0 + 997.0 / 3.0, 1e-9);
+}
+
+TEST(EnergyModel, LinearMatchesEnergyEverywhere)
+{
+    const EnergyModel m = model70();
+    for (IntervalKind kind :
+         {IntervalKind::Inner, IntervalKind::Leading,
+          IntervalKind::Trailing, IntervalKind::Untouched}) {
+        for (Mode mode : {Mode::Active, Mode::Drowsy, Mode::Sleep}) {
+            const LinearEnergy le = m.linear(mode, kind);
+            for (Cycles len : {50ULL, 1057ULL, 99'999ULL}) {
+                if (!m.applicable(mode, len, kind))
+                    continue;
+                EXPECT_NEAR(le.at(len), m.energy(mode, len, kind), 1e-9)
+                    << mode_name(mode) << " " << kind_name(kind);
+            }
+        }
+    }
+}
+
+TEST(EnergyModel, OptimalModeFollowsPaperRegimes)
+{
+    const EnergyModel m = model70();
+    // (0, a): active. (a, b): drowsy. (b, inf): sleep.  (At the exact
+    // tie points lower-power modes win by convention.)
+    EXPECT_EQ(m.optimal_mode(3, IntervalKind::Inner), Mode::Active);
+    EXPECT_EQ(m.optimal_mode(5, IntervalKind::Inner), Mode::Active);
+    EXPECT_EQ(m.optimal_mode(7, IntervalKind::Inner), Mode::Drowsy);
+    EXPECT_EQ(m.optimal_mode(500, IntervalKind::Inner), Mode::Drowsy);
+    EXPECT_EQ(m.optimal_mode(1056, IntervalKind::Inner), Mode::Drowsy);
+    EXPECT_EQ(m.optimal_mode(1058, IntervalKind::Inner), Mode::Sleep);
+    EXPECT_EQ(m.optimal_mode(1'000'000, IntervalKind::Inner), Mode::Sleep);
+}
+
+TEST(EnergyModel, OptimalEnergyIsLowerEnvelope)
+{
+    // Property: optimal_energy <= energy of every applicable mode
+    // (paper Fig. 10 / Appendix theorem, pointwise).
+    const EnergyModel m = model70();
+    for (Cycles len = 0; len <= 3000; len += 13) {
+        for (IntervalKind kind :
+             {IntervalKind::Inner, IntervalKind::Leading,
+              IntervalKind::Trailing, IntervalKind::Untouched}) {
+            const Energy best = m.optimal_energy(len, kind);
+            for (Mode mode : {Mode::Active, Mode::Drowsy, Mode::Sleep}) {
+                if (!m.applicable(mode, len, kind))
+                    continue;
+                EXPECT_LE(best, m.energy(mode, len, kind) + 1e-9)
+                    << "len=" << len << " kind=" << kind_name(kind)
+                    << " mode=" << mode_name(mode);
+            }
+        }
+    }
+}
+
+TEST(EnergyModel, EnergyIsMonotoneInLength)
+{
+    // Property: each mode's energy is non-decreasing in interval
+    // length (Fig. 10: "continuous and monotonically increasing").
+    const EnergyModel m = model70();
+    for (Mode mode : {Mode::Active, Mode::Drowsy, Mode::Sleep}) {
+        Energy prev = -1.0;
+        for (Cycles len = 40; len < 5000; len += 7) {
+            const Energy e = m.energy(mode, len, IntervalKind::Inner);
+            EXPECT_GE(e, prev - 1e-12);
+            prev = e;
+        }
+    }
+}
+
+/** Parameterized across all four paper nodes. */
+class EnergyModelAllNodes
+    : public ::testing::TestWithParam<power::TechNode>
+{
+};
+
+TEST_P(EnergyModelAllNodes, DrowsyAsymptoteIsTwoThirdsSavings)
+{
+    const EnergyModel m(power::node_params(GetParam()));
+    const Cycles len = 10'000'000;
+    const double savings =
+        1.0 - m.energy(Mode::Drowsy, len, IntervalKind::Inner) /
+                  m.energy(Mode::Active, len, IntervalKind::Inner);
+    // Table 2: OPT-Drowsy saturates at ~66.7% for every node.
+    EXPECT_NEAR(savings, 2.0 / 3.0, 1e-3);
+}
+
+TEST_P(EnergyModelAllNodes, SleepBeatsDrowsyOnlyAboveB)
+{
+    const EnergyModel m(power::node_params(GetParam()));
+    const auto points = compute_inflection(m);
+    const Cycles b = points.drowsy_sleep;
+    EXPECT_GT(m.energy(Mode::Sleep, b - 1, IntervalKind::Inner),
+              m.energy(Mode::Drowsy, b - 1, IntervalKind::Inner));
+    EXPECT_LT(m.energy(Mode::Sleep, b + 1, IntervalKind::Inner),
+              m.energy(Mode::Drowsy, b + 1, IntervalKind::Inner));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNodes, EnergyModelAllNodes,
+    ::testing::Values(power::TechNode::Nm70, power::TechNode::Nm100,
+                      power::TechNode::Nm130, power::TechNode::Nm180),
+    [](const ::testing::TestParamInfo<power::TechNode> &info) {
+        const std::string name = power::node_params(info.param).name;
+        return "Nm" + name.substr(0, name.size() - 2);
+    });

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests of the extension features: the periodic-drowsy literature
+ * baseline, next-line timeliness, and their interaction with the
+ * evaluator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/experiment.hpp"
+#include "core/policies.hpp"
+#include "core/savings.hpp"
+#include "power/technology.hpp"
+#include "prefetch/next_line.hpp"
+#include "util/random.hpp"
+#include "workload/spec_suite.hpp"
+
+using namespace leakbound;
+using namespace leakbound::core;
+using interval::Interval;
+using interval::IntervalKind;
+using interval::PrefetchClass;
+
+namespace {
+
+const EnergyModel &
+model70()
+{
+    static const EnergyModel m(power::node_params(power::TechNode::Nm70));
+    return m;
+}
+
+Energy
+inner(const Policy &p, Cycles len)
+{
+    return p.interval_energy(len, IntervalKind::Inner,
+                             PrefetchClass::NonPrefetchable, true);
+}
+
+} // namespace
+
+// -------------------------------------------------------- periodic drowsy
+
+TEST(PeriodicDrowsy, ActiveUntilWindowBoundary)
+{
+    const auto p = make_periodic_drowsy(model70(), 4000);
+    // Shorter than the expected boundary wait (2000): fully active.
+    EXPECT_DOUBLE_EQ(inner(*p, 1500), 1500.0);
+    // Longer: 2000 active + drowsy remainder (with transitions).
+    EXPECT_NEAR(inner(*p, 8000), 2000.0 + 6.0 + (6000.0 - 6.0) / 3.0,
+                1e-9);
+    EXPECT_FALSE(p->is_oracle());
+    EXPECT_EQ(p->name(), "Drowsy(4K)");
+}
+
+TEST(PeriodicDrowsy, NeverBeatsOptDrowsy)
+{
+    // The oracle drowsy policy bounds the periodic heuristic pointwise.
+    const auto opt = make_opt_drowsy(model70());
+    for (Cycles window : {Cycles{500}, Cycles{4000}, Cycles{32000}}) {
+        const auto periodic = make_periodic_drowsy(model70(), window);
+        for (Cycles len = 0; len < 100'000; len += 331) {
+            EXPECT_LE(inner(*opt, len), inner(*periodic, len) + 1e-9)
+                << "window=" << window << " len=" << len;
+        }
+    }
+}
+
+TEST(PeriodicDrowsy, ShorterWindowSavesMore)
+{
+    const auto fast = make_periodic_drowsy(model70(), 1000);
+    const auto slow = make_periodic_drowsy(model70(), 16000);
+    for (Cycles len = 0; len < 100'000; len += 497)
+        EXPECT_LE(inner(*fast, len), inner(*slow, len) + 1e-9) << len;
+}
+
+TEST(PeriodicDrowsy, InvalidFramesAlreadyDrowsed)
+{
+    const auto p = make_periodic_drowsy(model70(), 4000);
+    EXPECT_NEAR(p->interval_energy(9000, IntervalKind::Untouched,
+                                   PrefetchClass::NonPrefetchable, false),
+                9000.0 / 3.0, 1e-9);
+}
+
+TEST(PeriodicDrowsy, HistogramEvaluationMatchesRaw)
+{
+    util::Rng rng(5);
+    std::vector<Interval> raw;
+    for (int i = 0; i < 3000; ++i) {
+        Interval iv;
+        iv.kind = IntervalKind::Inner;
+        iv.length = rng.next_below(1 << 17);
+        raw.push_back(iv);
+    }
+    const auto p = make_periodic_drowsy(model70(), 4000);
+    auto set = interval::IntervalHistogramSet::with_default_edges(
+        p->thresholds());
+    for (const auto &iv : raw)
+        set.add(iv);
+    set.set_run_info(256, 1'000'000);
+    const auto hist = evaluate_policy(*p, set);
+    const auto ref = evaluate_policy_raw(*p, raw, 256, 1'000'000);
+    EXPECT_NEAR(hist.savings, ref.savings, 1e-10);
+}
+
+// ------------------------------------------------------ prefetch blend
+
+TEST(PrefetchBlend, EndpointsReproduceAandB)
+{
+    const std::vector<PrefetchClass> both = {PrefetchClass::NextLine,
+                                             PrefetchClass::Stride};
+    const auto a = make_prefetch(model70(), PrefetchVariant::A, both);
+    const auto b = make_prefetch(model70(), PrefetchVariant::B, both);
+    const auto c_inf = make_prefetch_blend(
+        model70(), std::numeric_limits<Cycles>::max(), both);
+    const auto c_a = make_prefetch_blend(model70(), 6, both);
+
+    for (Cycles len = 0; len < 50'000; len += 211) {
+        for (PrefetchClass pf :
+             {PrefetchClass::NonPrefetchable, PrefetchClass::NextLine,
+              PrefetchClass::Stride}) {
+            for (auto kind :
+                 {IntervalKind::Inner, IntervalKind::Trailing}) {
+                EXPECT_DOUBLE_EQ(
+                    c_inf->interval_energy(len, kind, pf, true),
+                    a->interval_energy(len, kind, pf, true))
+                    << "len=" << len;
+                EXPECT_DOUBLE_EQ(
+                    c_a->interval_energy(len, kind, pf, true),
+                    b->interval_energy(len, kind, pf, true))
+                    << "len=" << len;
+            }
+        }
+    }
+}
+
+TEST(PrefetchBlend, MonotoneInThreshold)
+{
+    // A smaller drowsy threshold can only save more energy.
+    const std::vector<PrefetchClass> both = {PrefetchClass::NextLine,
+                                             PrefetchClass::Stride};
+    const auto tight = make_prefetch_blend(model70(), 100, both);
+    const auto loose = make_prefetch_blend(model70(), 10'000, both);
+    for (Cycles len = 0; len < 100'000; len += 379) {
+        EXPECT_LE(tight->interval_energy(len, IntervalKind::Inner,
+                                         PrefetchClass::NonPrefetchable,
+                                         true),
+                  loose->interval_energy(len, IntervalKind::Inner,
+                                         PrefetchClass::NonPrefetchable,
+                                         true) +
+                      1e-9)
+            << len;
+    }
+}
+
+TEST(PrefetchBlend, NameEncodesThreshold)
+{
+    const std::vector<PrefetchClass> nl = {PrefetchClass::NextLine};
+    EXPECT_EQ(make_prefetch_blend(model70(), 1000, nl)->name(),
+              "Prefetch-C(1K)");
+    EXPECT_EQ(make_prefetch_blend(model70(),
+                                  std::numeric_limits<Cycles>::max(), nl)
+                  ->name(),
+              "Prefetch-C(inf)");
+}
+
+// ------------------------------------------------------- NL timeliness
+
+TEST(NextLineTimeliness, LeadTimeTightensCoverage)
+{
+    prefetch::NextLineMonitor m;
+    m.record(99, 995); // trigger lands 5 cycles before the close
+    // Paper accounting (no lead time): covered.
+    EXPECT_TRUE(m.covers(100, 900, 1000, 0));
+    // The sleep exit path needs 7 cycles: too late.
+    EXPECT_FALSE(m.covers(100, 900, 1000, 7));
+    // A trigger early enough passes both.
+    m.record(199, 950);
+    EXPECT_TRUE(m.covers(200, 900, 1000, 7));
+    EXPECT_TRUE(m.covers(200, 900, 1000, 50));
+    // But not if the lead requirement exceeds its margin.
+    EXPECT_FALSE(m.covers(200, 900, 1000, 51));
+}
+
+TEST(NextLineTimeliness, LegacyOverloadIsZeroLead)
+{
+    prefetch::NextLineMonitor m;
+    m.record(7, 500);
+    EXPECT_EQ(m.covers(8, 400), m.covers(8, 400, ~0ULL, 0));
+}
+
+TEST(NextLineTimeliness, ExperimentLeadReducesPrefetchability)
+{
+    // End to end: requiring lead time can only shrink (never grow) the
+    // set of NL-covered intervals, so Prefetch-B can only lose savings.
+    auto run_with_lead = [](Cycles lead) {
+        ExperimentConfig config;
+        config.instructions = 150'000;
+        config.extra_edges = standard_extra_edges();
+        config.nl_lead_time = lead;
+        auto w = workload::make_benchmark("gzip");
+        return run_experiment(*w, config);
+    };
+    const auto strict = run_with_lead(40);
+    const auto paper = run_with_lead(0);
+
+    const auto policy = make_prefetch(
+        model70(), PrefetchVariant::B,
+        {PrefetchClass::NextLine, PrefetchClass::Stride});
+    const double strict_savings =
+        evaluate_policy(*policy, strict.dcache.intervals).savings;
+    const double paper_savings =
+        evaluate_policy(*policy, paper.dcache.intervals).savings;
+    EXPECT_LE(strict_savings, paper_savings + 1e-9);
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests of the generalized model facade (paper Section 3.3): threshold
+ * publication, agreement with directly constructed policies, custom
+ * technologies derived from the HotLeakage-style model, and the
+ * accounting-variant plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/generalized_model.hpp"
+#include "core/policies.hpp"
+#include "power/hotleakage.hpp"
+#include "power/technology.hpp"
+#include "util/random.hpp"
+
+using namespace leakbound;
+using namespace leakbound::core;
+using interval::Interval;
+using interval::IntervalHistogramSet;
+using interval::IntervalKind;
+
+namespace {
+
+IntervalHistogramSet
+population_for(const GeneralizedModelInputs &inputs, std::uint64_t seed)
+{
+    IntervalHistogramSet set = IntervalHistogramSet::with_default_edges(
+        generalized_model_thresholds(inputs));
+    util::Rng rng(seed);
+    for (int i = 0; i < 3000; ++i) {
+        Interval iv;
+        iv.kind = IntervalKind::Inner;
+        iv.length = rng.next_below(1 << (6 + rng.next_below(16)));
+        iv.ends_in_reuse = rng.next_bool(0.7);
+        set.add(iv);
+    }
+    set.set_run_info(1024, 2'000'000);
+    return set;
+}
+
+} // namespace
+
+TEST(GeneralizedModel, ThresholdsCoverItsThreePolicies)
+{
+    for (power::TechNode node : power::all_nodes()) {
+        GeneralizedModelInputs inputs;
+        inputs.tech = power::node_params(node);
+        auto edges = generalized_model_thresholds(inputs);
+        std::sort(edges.begin(), edges.end());
+
+        const EnergyModel model(inputs.tech);
+        const auto points = compute_inflection(model);
+        for (const auto &policy :
+             {make_opt_drowsy(model),
+              make_opt_sleep(model, points.drowsy_sleep),
+              make_opt_hybrid(model)}) {
+            for (Cycles t : policy->thresholds()) {
+                EXPECT_TRUE(
+                    std::binary_search(edges.begin(), edges.end(), t))
+                    << inputs.tech.name << " " << policy->name()
+                    << " threshold " << t;
+            }
+        }
+    }
+}
+
+TEST(GeneralizedModel, AgreesWithDirectPolicyEvaluation)
+{
+    GeneralizedModelInputs inputs;
+    inputs.tech = power::node_params(power::TechNode::Nm100);
+    const auto set = population_for(inputs, 5);
+    const GeneralizedModelResult r = run_generalized_model(inputs, set);
+
+    const EnergyModel model(inputs.tech);
+    const auto points = compute_inflection(model);
+    EXPECT_DOUBLE_EQ(
+        r.opt_drowsy.savings,
+        evaluate_policy(*make_opt_drowsy(model), set).savings);
+    EXPECT_DOUBLE_EQ(
+        r.opt_sleep.savings,
+        evaluate_policy(*make_opt_sleep(model, points.drowsy_sleep), set)
+            .savings);
+    EXPECT_DOUBLE_EQ(
+        r.opt_hybrid.savings,
+        evaluate_policy(*make_opt_hybrid(model), set).savings);
+}
+
+TEST(GeneralizedModel, HybridDominatesComponentsEverywhere)
+{
+    for (power::TechNode node : power::all_nodes()) {
+        GeneralizedModelInputs inputs;
+        inputs.tech = power::node_params(node);
+        const auto set = population_for(inputs, 17);
+        const GeneralizedModelResult r =
+            run_generalized_model(inputs, set);
+        EXPECT_GE(r.opt_hybrid.savings, r.opt_drowsy.savings - 1e-12)
+            << inputs.tech.name;
+        EXPECT_GE(r.opt_hybrid.savings, r.opt_sleep.savings - 1e-12)
+            << inputs.tech.name;
+        EXPECT_GE(r.opt_drowsy.savings, 0.0);
+        EXPECT_LE(r.opt_hybrid.savings, 1.0);
+    }
+}
+
+TEST(GeneralizedModel, WorksOnDerivedCustomTechnology)
+{
+    power::LeakageInputs leak;
+    leak.vdd = 0.8;
+    leak.vth = 0.16;
+    GeneralizedModelInputs inputs;
+    inputs.tech =
+        power::derive_technology("55nm", 55.0, leak, 0.26, 250.0);
+    const auto set = population_for(inputs, 23);
+    const GeneralizedModelResult r = run_generalized_model(inputs, set);
+    EXPECT_EQ(r.points.active_drowsy, 6u);
+    EXPECT_GT(r.points.drowsy_sleep, 6u);
+    EXPECT_GT(r.opt_hybrid.savings, r.opt_drowsy.savings - 1e-12);
+}
+
+TEST(GeneralizedModel, DeadBlockAccountingNeverHurts)
+{
+    GeneralizedModelInputs paper;
+    paper.tech = power::node_params(power::TechNode::Nm70);
+    paper.charge_refetch = true;
+    GeneralizedModelInputs aware = paper;
+    aware.charge_refetch = false;
+
+    // One population with edges for both variants.
+    auto edges = generalized_model_thresholds(paper);
+    for (Cycles t : generalized_model_thresholds(aware))
+        edges.push_back(t);
+    IntervalHistogramSet set =
+        IntervalHistogramSet::with_default_edges(edges);
+    util::Rng rng(31);
+    for (int i = 0; i < 2000; ++i) {
+        Interval iv;
+        iv.kind = IntervalKind::Inner;
+        iv.length = rng.next_below(1 << 18);
+        iv.ends_in_reuse = rng.next_bool(0.5);
+        set.add(iv);
+    }
+    set.set_run_info(512, 1'000'000);
+
+    const auto with_cd = run_generalized_model(paper, set);
+    const auto without_cd = run_generalized_model(aware, set);
+    // Skipping CD on eviction-ending intervals can only save more.
+    EXPECT_GE(without_cd.opt_hybrid.savings,
+              with_cd.opt_hybrid.savings - 1e-12);
+    EXPECT_GE(without_cd.opt_sleep.savings,
+              with_cd.opt_sleep.savings - 1e-12);
+}

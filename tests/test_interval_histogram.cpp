@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests of the interval histogram set: cell partitioning by
+ * (kind, prefetch class, reuse), exact count/sum bookkeeping, merge,
+ * the default edge list's coverage of every stock decision threshold,
+ * and the bucket count helpers used by the Fig. 9 analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/experiment.hpp"
+#include "interval/interval_histogram.hpp"
+
+using namespace leakbound;
+using namespace leakbound::interval;
+
+namespace {
+
+Interval
+make_interval(Cycles len, IntervalKind kind = IntervalKind::Inner,
+              PrefetchClass pf = PrefetchClass::NonPrefetchable,
+              bool reuse = true)
+{
+    Interval iv;
+    iv.length = len;
+    iv.kind = kind;
+    iv.pf = pf;
+    iv.ends_in_reuse = reuse;
+    return iv;
+}
+
+} // namespace
+
+TEST(IntervalHistogram, TotalsTrackAdds)
+{
+    auto set = IntervalHistogramSet::with_default_edges();
+    set.add(make_interval(10));
+    set.add(make_interval(2000, IntervalKind::Inner,
+                          PrefetchClass::NextLine));
+    set.add(make_interval(500, IntervalKind::Trailing));
+    set.add(make_interval(100, IntervalKind::Leading));
+    set.add(make_interval(99, IntervalKind::Untouched));
+    EXPECT_EQ(set.total_intervals(), 5u);
+    EXPECT_EQ(set.total_inner_intervals(), 2u);
+    EXPECT_EQ(set.total_length(), 10u + 2000 + 500 + 100 + 99);
+}
+
+TEST(IntervalHistogram, CellsCarryFullIdentity)
+{
+    auto set = IntervalHistogramSet::with_default_edges();
+    set.add(make_interval(2000, IntervalKind::Inner, PrefetchClass::Stride,
+                          false));
+    bool seen = false;
+    set.for_each_cell([&](const CellRef &cell) {
+        EXPECT_FALSE(seen) << "exactly one populated cell expected";
+        seen = true;
+        EXPECT_EQ(cell.kind, IntervalKind::Inner);
+        EXPECT_EQ(cell.pf, PrefetchClass::Stride);
+        EXPECT_FALSE(cell.ends_in_reuse);
+        EXPECT_LE(cell.lower, 2000u);
+        EXPECT_GT(cell.upper, 2000u);
+        EXPECT_EQ(cell.count, 1u);
+        EXPECT_EQ(cell.sum, 2000u);
+    });
+    EXPECT_TRUE(seen);
+}
+
+TEST(IntervalHistogram, ReuseVariantsAreSeparated)
+{
+    auto set = IntervalHistogramSet::with_default_edges();
+    set.add(make_interval(5000, IntervalKind::Inner,
+                          PrefetchClass::NonPrefetchable, true));
+    set.add(make_interval(5000, IntervalKind::Inner,
+                          PrefetchClass::NonPrefetchable, false));
+    int cells = 0;
+    set.for_each_cell([&](const CellRef &cell) {
+        ++cells;
+        EXPECT_EQ(cell.count, 1u);
+    });
+    EXPECT_EQ(cells, 2);
+}
+
+TEST(IntervalHistogram, MergeAddsCellwise)
+{
+    auto a = IntervalHistogramSet::with_default_edges();
+    auto b = IntervalHistogramSet::with_default_edges();
+    a.add(make_interval(100));
+    b.add(make_interval(100));
+    b.add(make_interval(7777, IntervalKind::Trailing));
+    a.merge(b);
+    EXPECT_EQ(a.total_intervals(), 3u);
+    EXPECT_EQ(a.total_length(), 100u + 100 + 7777);
+}
+
+TEST(IntervalHistogram, DefaultEdgesContainEveryStockThreshold)
+{
+    // The contract the exact evaluator rests on: every decision
+    // boundary of every stock experiment policy is a bin edge once
+    // standard_extra_edges() is folded in.
+    const auto extra = core::standard_extra_edges();
+    const auto edges = IntervalHistogramSet::default_edges(extra);
+    for (Cycles t : extra) {
+        EXPECT_TRUE(std::binary_search(edges.begin(), edges.end(), t))
+            << "missing threshold " << t;
+    }
+    // The paper's fixed landmarks must be edges even without extras.
+    const auto bare = IntervalHistogramSet::default_edges();
+    for (Cycles t : {0ULL, 6ULL, 7ULL, 37ULL, 1057ULL, 5088ULL, 10328ULL,
+                     103084ULL, 10000ULL, 10001ULL}) {
+        EXPECT_TRUE(std::binary_search(bare.begin(), bare.end(), t))
+            << "missing landmark " << t;
+    }
+}
+
+TEST(IntervalHistogram, EdgesAreSortedUnique)
+{
+    const auto edges =
+        IntervalHistogramSet::default_edges({9999, 9999, 5});
+    EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end()));
+    EXPECT_EQ(std::adjacent_find(edges.begin(), edges.end()), edges.end());
+    EXPECT_EQ(edges.front(), 0u);
+}
+
+TEST(IntervalHistogram, InnerCountInRangeByClass)
+{
+    auto set = IntervalHistogramSet::with_default_edges();
+    set.add(make_interval(100, IntervalKind::Inner,
+                          PrefetchClass::NextLine));
+    set.add(make_interval(200, IntervalKind::Inner,
+                          PrefetchClass::NextLine, false));
+    set.add(make_interval(5000, IntervalKind::Inner,
+                          PrefetchClass::Stride));
+    set.add(make_interval(3, IntervalKind::Inner));
+    // Non-inner intervals never count.
+    set.add(make_interval(150, IntervalKind::Trailing));
+
+    EXPECT_EQ(set.inner_count_in(PrefetchClass::NextLine, 7, 1058), 2u);
+    EXPECT_EQ(set.inner_count_in(PrefetchClass::Stride, 1058, ~0ULL), 1u);
+    EXPECT_EQ(set.inner_count_in(0, 7), 1u);
+    EXPECT_EQ(set.inner_count_in(0, ~0ULL), 4u);
+}
+
+TEST(IntervalHistogram, RunInfoFeedsBaseline)
+{
+    auto set = IntervalHistogramSet::with_default_edges();
+    set.set_run_info(1024, 2'000'000);
+    EXPECT_DOUBLE_EQ(set.baseline_energy(), 1024.0 * 2'000'000.0);
+}
+
+TEST(IntervalHistogramDeath, MergeRequiresSameEdges)
+{
+    auto a = IntervalHistogramSet::with_default_edges();
+    IntervalHistogramSet b(std::vector<std::uint64_t>{0, 10});
+    EXPECT_DEATH(a.merge(b), "edges");
+}

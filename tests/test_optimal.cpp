@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests of the Figure 5 algorithm transcription (core/optimal.hpp) and
+ * its agreement with the policy machinery, i.e. the Appendix theorem:
+ * the bracketed rule (active/(0,a], drowsy/(a,b], sleep/(b,inf)) is
+ * the maximal-saving assignment.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/optimal.hpp"
+#include "core/policies.hpp"
+#include "core/savings.hpp"
+#include "power/technology.hpp"
+#include "util/random.hpp"
+
+using namespace leakbound;
+using namespace leakbound::core;
+using interval::Interval;
+using interval::IntervalKind;
+
+namespace {
+
+const EnergyModel &
+model70()
+{
+    static const EnergyModel m(power::node_params(power::TechNode::Nm70));
+    return m;
+}
+
+std::vector<Interval>
+population(std::uint64_t seed, std::size_t n)
+{
+    util::Rng rng(seed);
+    std::vector<Interval> out;
+    for (std::size_t i = 0; i < n; ++i) {
+        Interval iv;
+        iv.kind = IntervalKind::Inner;
+        iv.length = rng.next_below(200'000);
+        iv.ends_in_reuse = true;
+        out.push_back(iv);
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(OptimalLeakage, ClassifiesByInflectionPoints)
+{
+    const auto points = compute_inflection(model70());
+    std::vector<Interval> ivs;
+    for (Cycles len : {3ULL, 6ULL, 7ULL, 1057ULL, 1058ULL, 50'000ULL}) {
+        Interval iv;
+        iv.kind = IntervalKind::Inner;
+        iv.length = len;
+        ivs.push_back(iv);
+    }
+    const OptimalSaving s = optimal_leakage(model70(), points, ivs);
+    EXPECT_EQ(s.active, 2u);  // 3 and 6 ((0, a])
+    EXPECT_EQ(s.drowsed, 2u); // 7 and 1057 ((a, b])
+    EXPECT_EQ(s.slept, 2u);   // 1058 and 50000 ((b, inf))
+    EXPECT_GT(s.sleep_saving, 0.0);
+    EXPECT_GT(s.drowsy_saving, 0.0);
+    EXPECT_NEAR(s.total_saving, s.sleep_saving + s.drowsy_saving, 1e-9);
+}
+
+TEST(OptimalLeakage, AgreesWithOptHybridPolicy)
+{
+    // The Fig. 5 accumulation and the OPT-Hybrid policy are two
+    // implementations of the same theorem; their totals must agree.
+    const auto points = compute_inflection(model70());
+    const auto raw = population(123, 5000);
+    const OptimalSaving fig5 = optimal_leakage(model70(), points, raw);
+
+    const auto hybrid = make_opt_hybrid(model70());
+    double active_energy = 0;
+    for (const auto &iv : raw)
+        active_energy += static_cast<double>(iv.length);
+    const SavingsResult policy =
+        evaluate_policy_raw(*hybrid, raw, 1024, 1); // baseline unused here
+    const double policy_saving = active_energy - policy.total;
+    EXPECT_NEAR(fig5.total_saving, policy_saving,
+                1e-9 * std::max(1.0, active_energy));
+}
+
+TEST(OptimalLeakage, AppendixTheoremAgainstRandomAssignments)
+{
+    // Theorem 1: no per-interval mode assignment beats the bracketed
+    // rule.  Try many random assignments and verify none saves more.
+    const auto points = compute_inflection(model70());
+    const auto raw = population(7, 300);
+    const OptimalSaving best = optimal_leakage(model70(), points, raw);
+
+    util::Rng rng(99);
+    for (int trial = 0; trial < 200; ++trial) {
+        double saving = 0.0;
+        for (const auto &iv : raw) {
+            const Energy active =
+                model70().energy(Mode::Active, iv.length, iv.kind);
+            const Mode mode = static_cast<Mode>(rng.next_below(3));
+            if (!model70().applicable(mode, iv.length, iv.kind))
+                continue; // counts as active: zero saving
+            saving +=
+                active - model70().energy(mode, iv.length, iv.kind);
+        }
+        EXPECT_LE(saving, best.total_saving + 1e-6) << "trial " << trial;
+    }
+}
+
+TEST(OptimalLeakage, EmptySetSavesNothing)
+{
+    const auto points = compute_inflection(model70());
+    const OptimalSaving s = optimal_leakage(model70(), points, {});
+    EXPECT_EQ(s.total_saving, 0.0);
+    EXPECT_EQ(s.slept + s.drowsed + s.active, 0u);
+}
+
+TEST(OptimalLeakage, SavingGrowsWithIntervalLength)
+{
+    // Longer rest -> at least as much absolute saving (monotonicity of
+    // the envelope gap).
+    const auto points = compute_inflection(model70());
+    double prev = -1.0;
+    for (Cycles len = 0; len < 300'000; len += 997) {
+        Interval iv;
+        iv.kind = IntervalKind::Inner;
+        iv.length = len;
+        const OptimalSaving s = optimal_leakage(model70(), points, {iv});
+        EXPECT_GE(s.total_saving, prev - 1e-9) << len;
+        prev = s.total_saving;
+    }
+}

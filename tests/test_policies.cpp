@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Tests of the leakage management schemes (paper Section 4.4 +
+ * Table 3): per-scheme decision semantics at the regime boundaries,
+ * threshold publication, overheads, and cross-scheme dominance
+ * properties on synthetic interval populations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/inflection.hpp"
+#include "core/policies.hpp"
+#include "power/technology.hpp"
+
+using namespace leakbound;
+using namespace leakbound::core;
+using interval::IntervalKind;
+using interval::PrefetchClass;
+
+namespace {
+
+const EnergyModel &
+model70()
+{
+    static const EnergyModel m(power::node_params(power::TechNode::Nm70));
+    return m;
+}
+
+Energy
+inner(const Policy &p, Cycles len,
+      PrefetchClass pf = PrefetchClass::NonPrefetchable, bool reuse = true)
+{
+    return p.interval_energy(len, IntervalKind::Inner, pf, reuse);
+}
+
+} // namespace
+
+TEST(AlwaysActive, EnergyEqualsLength)
+{
+    const auto p = make_always_active(model70());
+    EXPECT_DOUBLE_EQ(inner(*p, 0), 0.0);
+    EXPECT_DOUBLE_EQ(inner(*p, 12345), 12345.0);
+    EXPECT_FALSE(p->is_oracle());
+    EXPECT_EQ(p->standing_overhead(), 0.0);
+}
+
+TEST(OptDrowsy, ActiveBelowADrowsyAbove)
+{
+    const auto p = make_opt_drowsy(model70());
+    EXPECT_DOUBLE_EQ(inner(*p, 5), 5.0);           // too short
+    EXPECT_DOUBLE_EQ(inner(*p, 6), 6.0);           // exact tie
+    EXPECT_NEAR(inner(*p, 306), 106.0, 1e-9);      // drowsy
+    EXPECT_TRUE(p->is_oracle());
+    EXPECT_EQ(p->dominant_mode(306, IntervalKind::Inner,
+                               PrefetchClass::NonPrefetchable, true),
+              Mode::Drowsy);
+}
+
+TEST(OptDrowsy, NeverSleeps)
+{
+    const auto p = make_opt_drowsy(model70());
+    // Even an enormous interval only gets the drowsy slope.
+    const double savings = 1.0 - inner(*p, 9'000'000) / 9'000'000.0;
+    EXPECT_NEAR(savings, 2.0 / 3.0, 1e-4);
+}
+
+TEST(OptSleep, SleepsOnlyAboveThreshold)
+{
+    const auto points = compute_inflection(model70());
+    const auto p = make_opt_sleep(model70(), 10'000);
+    EXPECT_DOUBLE_EQ(inner(*p, 10'000), 10'000.0); // not "greater than"
+    const double cd = model70().tech().refetch_energy;
+    EXPECT_NEAR(inner(*p, 10'001), 37.0 + cd, 1e-9);
+    EXPECT_EQ(p->name(), "OPT-Sleep(10K)");
+    (void)points;
+}
+
+TEST(OptSleep, NeverWorseThanActive)
+{
+    // Even with a low threshold the scheme must not sleep where CD
+    // makes sleep cost more than staying active.
+    const auto p = make_opt_sleep(model70(), 40);
+    for (Cycles len = 0; len < 2000; len += 11)
+        EXPECT_LE(inner(*p, len), static_cast<double>(len) + 1e-9);
+}
+
+TEST(OptSleep, DeadBlockAccountingSkipsCd)
+{
+    const auto p = make_opt_sleep(model70(), 1057, /*charge_refetch=*/false);
+    const double cd = model70().tech().refetch_energy;
+    // Reuse-ending interval still pays CD...
+    EXPECT_NEAR(inner(*p, 5000, PrefetchClass::NonPrefetchable, true),
+                37.0 + cd, 1e-9);
+    // ...but an eviction-ending interval sleeps for free.
+    EXPECT_NEAR(inner(*p, 5000, PrefetchClass::NonPrefetchable, false),
+                37.0, 1e-9);
+}
+
+TEST(DecaySleep, ActivePrefixThenSleep)
+{
+    const auto p = make_decay_sleep(model70(), 10'000);
+    const double cd = model70().tech().refetch_energy;
+    // Below decay + sleep-overhead: fully active.
+    EXPECT_DOUBLE_EQ(inner(*p, 10'020), 10'020.0);
+    // Above: 10K active, remainder slept, CD paid.
+    EXPECT_NEAR(inner(*p, 30'000), 10'000.0 + 37.0 + cd, 1e-9);
+    EXPECT_FALSE(p->is_oracle());
+    EXPECT_EQ(p->name(), "Sleep(10K)");
+}
+
+TEST(DecaySleep, ChargesCounterOverhead)
+{
+    const auto p = make_decay_sleep(model70(), 10'000);
+    EXPECT_DOUBLE_EQ(p->standing_overhead(),
+                     model70().tech().decay_counter_overhead);
+    EXPECT_GT(p->standing_overhead(), 0.0);
+}
+
+TEST(DecaySleep, AlwaysWorseOrEqualToOptSleepSameThreshold)
+{
+    // OPT-Sleep(T) sleeps the whole interval; decay burns T cycles
+    // active first.  Pointwise dominance (ignoring the counter, which
+    // only widens the gap).
+    const auto opt = make_opt_sleep(model70(), 10'000);
+    const auto decay = make_decay_sleep(model70(), 10'000);
+    for (Cycles len = 0; len < 100'000; len += 977)
+        EXPECT_LE(inner(*opt, len), inner(*decay, len) + 1e-9) << len;
+}
+
+TEST(OptHybrid, FollowsFigure5Regimes)
+{
+    const auto p = make_opt_hybrid(model70());
+    const double cd = model70().tech().refetch_energy;
+    EXPECT_DOUBLE_EQ(inner(*p, 4), 4.0);                    // active
+    EXPECT_NEAR(inner(*p, 500), 6.0 + 494.0 / 3.0, 1e-9);   // drowsy
+    EXPECT_NEAR(inner(*p, 2000), 37.0 + cd, 1e-9);          // sleep
+    EXPECT_EQ(p->name(), "OPT-Hybrid");
+}
+
+TEST(OptHybrid, IsPointwiseLowerEnvelopeOfAllSchemes)
+{
+    // The Appendix theorem, policy-level: OPT-Hybrid never costs more
+    // than any other scheme on any single interval.
+    std::vector<PolicyPtr> rivals;
+    rivals.push_back(make_always_active(model70()));
+    rivals.push_back(make_opt_drowsy(model70()));
+    rivals.push_back(make_opt_sleep(model70(), 1057));
+    rivals.push_back(make_opt_sleep(model70(), 10'000));
+    rivals.push_back(make_hybrid(model70(), 5000));
+    const auto hybrid = make_opt_hybrid(model70());
+
+    for (IntervalKind kind :
+         {IntervalKind::Inner, IntervalKind::Leading,
+          IntervalKind::Trailing, IntervalKind::Untouched}) {
+        for (Cycles len = 0; len < 20'000; len += 191) {
+            const Energy best = hybrid->interval_energy(
+                len, kind, PrefetchClass::NonPrefetchable, true);
+            for (const auto &r : rivals) {
+                EXPECT_LE(best,
+                          r->interval_energy(
+                              len, kind, PrefetchClass::NonPrefetchable,
+                              true) +
+                              1e-9)
+                    << r->name() << " len=" << len << " kind="
+                    << interval::kind_name(kind);
+            }
+        }
+    }
+}
+
+TEST(Hybrid, MinSleepLengthGatesSleep)
+{
+    const auto h5000 = make_hybrid(model70(), 5000);
+    const double cd = model70().tech().refetch_energy;
+    // 2000 > b but below the gate: drowsy.
+    EXPECT_NEAR(inner(*h5000, 2000), 6.0 + 1994.0 / 3.0, 1e-9);
+    // Above the gate: sleep.
+    EXPECT_NEAR(inner(*h5000, 5001), 37.0 + cd, 1e-9);
+}
+
+TEST(Hybrid, TighterGateNeverHurts)
+{
+    // Fig. 7 property: lowering the minimum sleep length toward b can
+    // only reduce energy.
+    const auto tight = make_hybrid(model70(), 1057);
+    const auto loose = make_hybrid(model70(), 9000);
+    for (Cycles len = 0; len < 30'000; len += 313)
+        EXPECT_LE(inner(*tight, len), inner(*loose, len) + 1e-9) << len;
+}
+
+TEST(Prefetch, VariantSemanticsMatchTable3)
+{
+    const std::vector<PrefetchClass> both = {PrefetchClass::NextLine,
+                                             PrefetchClass::Stride};
+    const auto a = make_prefetch(model70(), PrefetchVariant::A, both);
+    const auto b = make_prefetch(model70(), PrefetchVariant::B, both);
+    const double cd = model70().tech().refetch_energy;
+
+    // Prefetchable long interval: both sleep (optimal mode).
+    EXPECT_NEAR(inner(*a, 5000, PrefetchClass::NextLine), 37.0 + cd, 1e-9);
+    EXPECT_NEAR(inner(*b, 5000, PrefetchClass::Stride), 37.0 + cd, 1e-9);
+
+    // Non-prefetchable: A stays active, B goes drowsy.
+    EXPECT_DOUBLE_EQ(inner(*a, 5000, PrefetchClass::NonPrefetchable),
+                     5000.0);
+    EXPECT_NEAR(inner(*b, 5000, PrefetchClass::NonPrefetchable),
+                6.0 + 4994.0 / 3.0, 1e-9);
+
+    EXPECT_FALSE(a->is_oracle());
+    EXPECT_FALSE(b->is_oracle());
+    EXPECT_EQ(a->name(), "Prefetch-A");
+    EXPECT_EQ(b->name(), "Prefetch-B");
+}
+
+TEST(Prefetch, RespectsAllowedClasses)
+{
+    // An instruction-cache flavoured policy only honours next-line.
+    const auto p = make_prefetch(model70(), PrefetchVariant::A,
+                                 {PrefetchClass::NextLine});
+    const double cd = model70().tech().refetch_energy;
+    EXPECT_NEAR(inner(*p, 5000, PrefetchClass::NextLine), 37.0 + cd, 1e-9);
+    EXPECT_DOUBLE_EQ(inner(*p, 5000, PrefetchClass::Stride), 5000.0);
+}
+
+TEST(Prefetch, InvalidFramesSleepRegardless)
+{
+    const auto a = make_prefetch(model70(), PrefetchVariant::A,
+                                 {PrefetchClass::NextLine});
+    EXPECT_DOUBLE_EQ(
+        a->interval_energy(100'000, IntervalKind::Untouched,
+                           PrefetchClass::NonPrefetchable, false),
+        0.0);
+    EXPECT_DOUBLE_EQ(
+        a->interval_energy(100'000, IntervalKind::Leading,
+                           PrefetchClass::NonPrefetchable, false),
+        0.0);
+    // Trailing counts as non-prefetchable: A keeps it active.
+    EXPECT_DOUBLE_EQ(
+        a->interval_energy(100'000, IntervalKind::Trailing,
+                           PrefetchClass::NonPrefetchable, false),
+        100'000.0);
+}
+
+TEST(Prefetch, BDominatesAOnEnergy)
+{
+    const std::vector<PrefetchClass> both = {PrefetchClass::NextLine,
+                                             PrefetchClass::Stride};
+    const auto a = make_prefetch(model70(), PrefetchVariant::A, both);
+    const auto b = make_prefetch(model70(), PrefetchVariant::B, both);
+    for (Cycles len = 0; len < 20'000; len += 173) {
+        for (PrefetchClass pf :
+             {PrefetchClass::NonPrefetchable, PrefetchClass::NextLine}) {
+            EXPECT_LE(inner(*b, len, pf), inner(*a, len, pf) + 1e-9);
+        }
+    }
+}
+
+TEST(Policies, PublishedThresholdsCoverDecisionChanges)
+{
+    // Property: between consecutive published thresholds every
+    // policy's energy is exactly linear (sampled check).  This is the
+    // contract the exact histogram evaluation rests on.
+    std::vector<PolicyPtr> policies;
+    policies.push_back(make_opt_drowsy(model70()));
+    policies.push_back(make_opt_sleep(model70(), 1057));
+    policies.push_back(make_decay_sleep(model70(), 10'000));
+    policies.push_back(make_opt_hybrid(model70()));
+    policies.push_back(make_hybrid(model70(), 4000));
+    policies.push_back(make_prefetch(model70(), PrefetchVariant::B,
+                                     {PrefetchClass::NextLine}));
+
+    for (const auto &p : policies) {
+        std::vector<Cycles> edges = p->thresholds();
+        // Kind/applicability boundaries below 64 are implicit edges of
+        // the default histogram; include them in the linearity check.
+        for (Cycles e = 0; e <= 130; ++e)
+            edges.push_back(e);
+        edges.push_back(0);
+        std::sort(edges.begin(), edges.end());
+        edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+        for (IntervalKind kind :
+             {IntervalKind::Inner, IntervalKind::Trailing}) {
+            for (std::size_t i = 0; i + 1 < edges.size(); ++i) {
+                const Cycles lo = edges[i];
+                const Cycles hi = edges[i + 1];
+                if (hi - lo < 3)
+                    continue;
+                const Cycles mid = lo + (hi - lo) / 2;
+                const Energy f0 = p->interval_energy(
+                    lo, kind, PrefetchClass::NonPrefetchable, true);
+                const Energy f1 = p->interval_energy(
+                    lo + 1, kind, PrefetchClass::NonPrefetchable, true);
+                const Energy fm = p->interval_energy(
+                    mid, kind, PrefetchClass::NonPrefetchable, true);
+                const double slope = f1 - f0;
+                EXPECT_NEAR(fm,
+                            f0 + slope * static_cast<double>(mid - lo),
+                            1e-6)
+                    << p->name() << " kind=" << interval::kind_name(kind)
+                    << " segment [" << lo << "," << hi << ")";
+            }
+        }
+    }
+}

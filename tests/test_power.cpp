@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Unit tests for the power module: calibrated nodes, parameter
+ * validation, the HotLeakage-style trends, CACTI-lite scaling and the
+ * ITRS projection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/cacti_lite.hpp"
+#include "power/hotleakage.hpp"
+#include "power/itrs.hpp"
+#include "power/technology.hpp"
+
+using namespace leakbound;
+using namespace leakbound::power;
+
+TEST(Technology, PaperNodesExist)
+{
+    EXPECT_EQ(all_nodes().size(), 4u);
+    EXPECT_STREQ(node_name(TechNode::Nm70), "70nm");
+    EXPECT_STREQ(node_name(TechNode::Nm180), "180nm");
+}
+
+TEST(Technology, PaperVddVthValues)
+{
+    // Paper Table 2 values, exactly.
+    const auto &n70 = node_params(TechNode::Nm70);
+    EXPECT_DOUBLE_EQ(n70.vdd, 0.9);
+    EXPECT_DOUBLE_EQ(n70.vth, 0.1902);
+    const auto &n100 = node_params(TechNode::Nm100);
+    EXPECT_DOUBLE_EQ(n100.vdd, 1.0);
+    EXPECT_DOUBLE_EQ(n100.vth, 0.2607);
+    const auto &n130 = node_params(TechNode::Nm130);
+    EXPECT_DOUBLE_EQ(n130.vdd, 1.5);
+    EXPECT_DOUBLE_EQ(n130.vth, 0.3353);
+    const auto &n180 = node_params(TechNode::Nm180);
+    EXPECT_DOUBLE_EQ(n180.vdd, 2.0);
+    EXPECT_DOUBLE_EQ(n180.vth, 0.3979);
+}
+
+TEST(Technology, RefetchEnergyGrowsWithFeatureSize)
+{
+    // Normalized to per-line leakage, the induced-miss energy must
+    // grow dramatically toward older nodes (leakage shrinks, dynamic
+    // energy grows).
+    double prev = 0;
+    for (TechNode node : all_nodes()) {
+        const auto &p = node_params(node);
+        EXPECT_GT(p.refetch_energy, prev);
+        prev = p.refetch_energy;
+    }
+}
+
+TEST(Technology, LookupByName)
+{
+    EXPECT_EQ(&node_params_by_name("130nm"), &node_params(TechNode::Nm130));
+    EXPECT_EXIT(node_params_by_name("45nm"),
+                ::testing::ExitedWithCode(1), "unknown technology");
+}
+
+TEST(Technology, DefaultTimingsMatchPaper)
+{
+    const ModeTimings t;
+    EXPECT_EQ(t.s1, 30u);
+    EXPECT_EQ(t.s3, 3u);
+    EXPECT_EQ(t.s4, 4u);
+    EXPECT_EQ(t.d1, 3u);
+    EXPECT_EQ(t.d3, 3u);
+    EXPECT_EQ(t.sleep_overhead(), 37u);
+    EXPECT_EQ(t.drowsy_overhead(), 6u);
+}
+
+TEST(Technology, TimingsFollowL2Latency)
+{
+    // s4 = D - s3 per the paper's definition.
+    EXPECT_EQ(ModeTimings::with_l2_latency(7).s4, 4u);
+    EXPECT_EQ(ModeTimings::with_l2_latency(20).s4, 17u);
+    EXPECT_EQ(ModeTimings::with_l2_latency(2).s4, 0u);
+}
+
+TEST(Technology, ValidationRejectsBadParams)
+{
+    TechnologyParams p = node_params(TechNode::Nm70);
+    p.drowsy_power = 1.5; // above active
+    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(1), "drowsy");
+
+    p = node_params(TechNode::Nm70);
+    p.sleep_power = 0.9; // above drowsy
+    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(1), "sleep");
+
+    p = node_params(TechNode::Nm70);
+    p.refetch_energy = -1;
+    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(1), "refetch");
+
+    p = node_params(TechNode::Nm70);
+    p.timings.s1 = 1; // sleep overhead below drowsy overhead
+    p.timings.s3 = 1;
+    p.timings.s4 = 1;
+    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(1), "Lemma 1");
+}
+
+// ------------------------------------------------------------ hotleakage
+
+TEST(HotLeakage, LeakageGrowsAsVthDrops)
+{
+    LeakageInputs high_vth;
+    high_vth.vth = 0.4;
+    LeakageInputs low_vth;
+    low_vth.vth = 0.19;
+    EXPECT_GT(line_leakage_power(low_vth), line_leakage_power(high_vth));
+}
+
+TEST(HotLeakage, LeakageGrowsWithTemperature)
+{
+    LeakageInputs cold;
+    cold.temperature_k = 300;
+    LeakageInputs hot;
+    hot.temperature_k = 380;
+    EXPECT_GT(line_leakage_power(hot), line_leakage_power(cold));
+}
+
+TEST(HotLeakage, DrowsyRatioInUnitInterval)
+{
+    LeakageInputs in; // 70nm-ish defaults
+    const double ratio = drowsy_ratio(in, 0.3);
+    EXPECT_GT(ratio, 0.0);
+    EXPECT_LT(ratio, 1.0);
+    // Deeper drowsy voltage leaks less.
+    EXPECT_LT(drowsy_ratio(in, 0.2), drowsy_ratio(in, 0.5));
+}
+
+TEST(HotLeakage, DrowsyRatioRejectsBadVoltages)
+{
+    LeakageInputs in;
+    EXPECT_EXIT(drowsy_ratio(in, 0.0), ::testing::ExitedWithCode(1),
+                "vdd_low");
+    EXPECT_EXIT(drowsy_ratio(in, in.vdd), ::testing::ExitedWithCode(1),
+                "vdd_low");
+}
+
+TEST(HotLeakage, DeriveTechnologyIsValid)
+{
+    LeakageInputs in;
+    in.vdd = 0.8;
+    in.vth = 0.15;
+    const TechnologyParams p =
+        derive_technology("custom-50nm", 50.0, in, 0.25, 150.0);
+    EXPECT_EQ(p.name, "custom-50nm");
+    EXPECT_GT(p.drowsy_power, 0.0);
+    EXPECT_LT(p.drowsy_power, 1.0);
+    EXPECT_DOUBLE_EQ(p.refetch_energy, 150.0);
+}
+
+// ------------------------------------------------------------ cacti-lite
+
+TEST(CactiLite, EnergyGrowsWithSize)
+{
+    const auto &tech = node_params(TechNode::Nm70);
+    CactiGeometry small;
+    small.size_bytes = 512 * 1024;
+    CactiGeometry big;
+    big.size_bytes = 8 * 1024 * 1024;
+    EXPECT_LT(relative_read_energy(small, tech),
+              relative_read_energy(big, tech));
+}
+
+TEST(CactiLite, EnergyGrowsWithVddSquared)
+{
+    CactiGeometry geom;
+    TechnologyParams low = node_params(TechNode::Nm70);
+    TechnologyParams high = low;
+    high.vdd = 2.0 * low.vdd;
+    const double ratio = relative_read_energy(geom, high) /
+                         relative_read_energy(geom, low);
+    EXPECT_NEAR(ratio, 4.0, 1e-9);
+}
+
+TEST(CactiLite, AnchoredAtDefaultGeometry)
+{
+    const auto &tech = node_params(TechNode::Nm70);
+    const CactiGeometry reference;
+    EXPECT_NEAR(scaled_refetch_energy(reference, tech),
+                tech.refetch_energy, 1e-9);
+}
+
+TEST(CactiLite, RejectsDegenerateGeometry)
+{
+    const auto &tech = node_params(TechNode::Nm70);
+    CactiGeometry geom;
+    geom.line_bytes = 0;
+    EXPECT_EXIT(relative_read_energy(geom, tech),
+                ::testing::ExitedWithCode(1), "nonzero");
+}
+
+// ------------------------------------------------------------------ itrs
+
+TEST(Itrs, ProjectionIsMonotone)
+{
+    const auto &points = itrs_projection();
+    ASSERT_GE(points.size(), 4u);
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        EXPECT_LT(points[i - 1].year, points[i].year);
+        EXPECT_LT(points[i - 1].leakage_fraction,
+                  points[i].leakage_fraction);
+    }
+    EXPECT_EQ(points.front().year, 1999);
+    EXPECT_EQ(points.back().year, 2009);
+}
+
+TEST(Itrs, InterpolationAndClamping)
+{
+    EXPECT_DOUBLE_EQ(itrs_leakage_fraction(1990),
+                     itrs_projection().front().leakage_fraction);
+    EXPECT_DOUBLE_EQ(itrs_leakage_fraction(2020),
+                     itrs_projection().back().leakage_fraction);
+    const double mid = itrs_leakage_fraction(2004);
+    EXPECT_GT(mid, itrs_leakage_fraction(2003));
+    EXPECT_LT(mid, itrs_leakage_fraction(2005));
+}

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tests of the exact policy evaluator: the histogram path must equal
+ * the raw-interval reference bit-for-bit (modulo float summation
+ * order), threshold-coverage violations must be caught, and the
+ * aggregate bookkeeping (baseline, overheads, mode tallies) must add
+ * up.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/inflection.hpp"
+#include "core/policies.hpp"
+#include "core/savings.hpp"
+#include "interval/interval_histogram.hpp"
+#include "power/technology.hpp"
+#include "util/random.hpp"
+
+using namespace leakbound;
+using namespace leakbound::core;
+using interval::Interval;
+using interval::IntervalHistogramSet;
+using interval::IntervalKind;
+using interval::PrefetchClass;
+
+namespace {
+
+const EnergyModel &
+model70()
+{
+    static const EnergyModel m(power::node_params(power::TechNode::Nm70));
+    return m;
+}
+
+/** A deterministic, messy synthetic interval population. */
+std::vector<Interval>
+synthetic_population(std::uint64_t seed, std::size_t n)
+{
+    util::Rng rng(seed);
+    std::vector<Interval> out;
+    out.reserve(n + 40);
+    for (std::size_t i = 0; i < n; ++i) {
+        Interval iv;
+        iv.kind = IntervalKind::Inner;
+        // Mix of regimes: short, drowsy-range, medium, long, huge.
+        switch (rng.next_below(5)) {
+          case 0:
+            iv.length = rng.next_below(8);
+            break;
+          case 1:
+            iv.length = rng.next_in(7, 1057);
+            break;
+          case 2:
+            iv.length = rng.next_in(1058, 10'000);
+            break;
+          case 3:
+            iv.length = rng.next_in(10'001, 103'084);
+            break;
+          default:
+            iv.length = rng.next_in(103'085, 5'000'000);
+            break;
+        }
+        iv.pf = static_cast<PrefetchClass>(rng.next_below(3));
+        iv.ends_in_reuse = rng.next_bool(0.6);
+        out.push_back(iv);
+    }
+    // Boundary kinds.
+    for (int i = 0; i < 20; ++i) {
+        Interval lead;
+        lead.kind = IntervalKind::Leading;
+        lead.length = rng.next_below(100'000);
+        lead.ends_in_reuse = false;
+        out.push_back(lead);
+        Interval trail;
+        trail.kind = IntervalKind::Trailing;
+        trail.length = rng.next_below(200'000);
+        trail.ends_in_reuse = false;
+        out.push_back(trail);
+    }
+    Interval untouched;
+    untouched.kind = IntervalKind::Untouched;
+    untouched.length = 6'000'000;
+    out.push_back(untouched);
+    return out;
+}
+
+/** Histogram set loaded from a raw population. */
+IntervalHistogramSet
+load(const std::vector<Interval> &raw, const Policy &policy,
+     std::uint64_t frames, Cycles cycles)
+{
+    IntervalHistogramSet set =
+        IntervalHistogramSet::with_default_edges(policy.thresholds());
+    for (const Interval &iv : raw)
+        set.add(iv);
+    set.set_run_info(frames, cycles);
+    return set;
+}
+
+} // namespace
+
+/** The headline property: histogram evaluation == raw evaluation. */
+class HistogramExactness
+    : public ::testing::TestWithParam<std::uint64_t /*seed*/>
+{
+};
+
+TEST_P(HistogramExactness, MatchesRawForEveryStockPolicy)
+{
+    const auto raw = synthetic_population(GetParam(), 4000);
+    const std::uint64_t frames = 1024;
+    const Cycles cycles = 7'000'000;
+
+    std::vector<PolicyPtr> policies;
+    policies.push_back(make_always_active(model70()));
+    policies.push_back(make_opt_drowsy(model70()));
+    policies.push_back(make_opt_sleep(model70(), 1057));
+    policies.push_back(make_opt_sleep(model70(), 10'000));
+    policies.push_back(make_decay_sleep(model70(), 10'000));
+    policies.push_back(make_opt_hybrid(model70()));
+    policies.push_back(make_hybrid(model70(), 4000));
+    policies.push_back(make_prefetch(model70(), PrefetchVariant::A,
+                                     {PrefetchClass::NextLine}));
+    policies.push_back(make_prefetch(
+        model70(), PrefetchVariant::B,
+        {PrefetchClass::NextLine, PrefetchClass::Stride}));
+    // Dead-block accounting variants exercise the reuse split.
+    policies.push_back(make_opt_hybrid(model70(), false));
+    policies.push_back(make_decay_sleep(model70(), 10'000, false));
+
+    for (const auto &p : policies) {
+        const auto set = load(raw, *p, frames, cycles);
+        const SavingsResult via_hist = evaluate_policy(*p, set);
+        const SavingsResult via_raw =
+            evaluate_policy_raw(*p, raw, frames, cycles);
+        const double tol = 1e-9 * std::max(1.0, via_raw.total);
+        EXPECT_NEAR(via_hist.total, via_raw.total, tol) << p->name();
+        EXPECT_NEAR(via_hist.savings, via_raw.savings, 1e-10)
+            << p->name();
+        EXPECT_EQ(via_hist.sleep_intervals, via_raw.sleep_intervals)
+            << p->name();
+        EXPECT_EQ(via_hist.drowsy_intervals, via_raw.drowsy_intervals)
+            << p->name();
+        EXPECT_EQ(via_hist.induced_misses, via_raw.induced_misses)
+            << p->name();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramExactness,
+                         ::testing::Values(1, 42, 20260706, 777, 31337));
+
+TEST(Savings, BaselineAndAlwaysActive)
+{
+    const auto raw = synthetic_population(9, 500);
+    const auto p = make_always_active(model70());
+    const auto set = load(raw, *p, 64, 1'000'000);
+    const SavingsResult r = evaluate_policy(*p, set);
+    EXPECT_DOUBLE_EQ(r.baseline, 64.0 * 1'000'000.0);
+    // AlwaysActive saves exactly the baseline-minus-interval-time gap;
+    // with a fully partitioned timeline that would be 0, and with this
+    // synthetic population the policy energy equals total length.
+    EXPECT_DOUBLE_EQ(
+        r.total, static_cast<double>(set.total_length()));
+    EXPECT_EQ(r.induced_misses, 0u);
+}
+
+TEST(Savings, MissingThresholdEdgePanics)
+{
+    // Build a set WITHOUT the decay policy's thresholds: the evaluator
+    // must refuse rather than silently return approximate numbers.
+    const auto raw = synthetic_population(3, 100);
+    IntervalHistogramSet set(std::vector<std::uint64_t>{0, 10, 1000});
+    for (const auto &iv : raw)
+        set.add(iv);
+    set.set_run_info(16, 100'000);
+    const auto p = make_decay_sleep(model70(), 10'000);
+    EXPECT_DEATH((void)evaluate_policy(*p, set), "miss");
+}
+
+TEST(Savings, OverheadScalesWithBaseline)
+{
+    const auto raw = synthetic_population(5, 200);
+    const auto p = make_decay_sleep(model70(), 10'000);
+    const auto set = load(raw, *p, 128, 500'000);
+    const SavingsResult r = evaluate_policy(*p, set);
+    EXPECT_DOUBLE_EQ(r.overhead,
+                     model70().tech().decay_counter_overhead * 128.0 *
+                         500'000.0);
+    EXPECT_GT(r.total, r.overhead);
+}
+
+TEST(Savings, CombineAggregatesEnergies)
+{
+    const auto p = make_opt_hybrid(model70());
+    const auto raw_a = synthetic_population(11, 300);
+    const auto raw_b = synthetic_population(12, 600);
+    const auto ra =
+        evaluate_policy_raw(*p, raw_a, 1024, 1'000'000);
+    const auto rb =
+        evaluate_policy_raw(*p, raw_b, 1024, 3'000'000);
+    const SavingsResult sum = combine_results({ra, rb});
+    EXPECT_DOUBLE_EQ(sum.baseline, ra.baseline + rb.baseline);
+    EXPECT_DOUBLE_EQ(sum.total, ra.total + rb.total);
+    EXPECT_NEAR(sum.savings, 1.0 - sum.total / sum.baseline, 1e-12);
+    // The pooled savings must lie between the per-run savings.
+    EXPECT_GE(sum.savings,
+              std::min(ra.savings, rb.savings) - 1e-12);
+    EXPECT_LE(sum.savings,
+              std::max(ra.savings, rb.savings) + 1e-12);
+}
+
+TEST(Savings, ModeTalliesCoverEveryInterval)
+{
+    const auto raw = synthetic_population(21, 1000);
+    const auto p = make_opt_hybrid(model70());
+    const auto set = load(raw, *p, 512, 7'000'000);
+    const SavingsResult r = evaluate_policy(*p, set);
+    EXPECT_EQ(r.active_intervals + r.drowsy_intervals + r.sleep_intervals,
+              raw.size());
+}
+
+TEST(Savings, OracleOrderingOnRealisticPopulation)
+{
+    // Scheme dominance the paper's Fig. 8 rests on, evaluated on a
+    // synthetic population: OPT-Hybrid >= OPT-Sleep(b) >=
+    // OPT-Sleep(10K) >= Sleep(10K), and OPT-Hybrid >= OPT-Drowsy.
+    const auto raw = synthetic_population(77, 5000);
+    const auto points = compute_inflection(model70());
+
+    auto eval = [&](const PolicyPtr &p) {
+        return evaluate_policy_raw(*p, raw, 1024, 7'000'000).savings;
+    };
+    const double hybrid = eval(make_opt_hybrid(model70()));
+    const double opt_sleep_b =
+        eval(make_opt_sleep(model70(), points.drowsy_sleep));
+    const double opt_sleep_10k = eval(make_opt_sleep(model70(), 10'000));
+    const double decay_10k = eval(make_decay_sleep(model70(), 10'000));
+    const double drowsy = eval(make_opt_drowsy(model70()));
+
+    EXPECT_GE(hybrid, opt_sleep_b - 1e-12);
+    EXPECT_GE(opt_sleep_b, opt_sleep_10k - 1e-12);
+    EXPECT_GE(opt_sleep_10k, decay_10k - 1e-12);
+    EXPECT_GE(hybrid, drowsy - 1e-12);
+}

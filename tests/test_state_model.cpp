@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests of the Figure 6 state model: the cycle-by-cycle simulation
+ * must reproduce the closed forms of core::EnergyModel exactly (this
+ * is the proof that Eq. 1-2 are the state machine's integrals), the
+ * edge weights must match their definitions, and schedules must
+ * respect the graph (no drowsy<->sleep edge).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/energy_model.hpp"
+#include "core/state_model.hpp"
+#include "power/technology.hpp"
+
+using namespace leakbound;
+using namespace leakbound::core;
+using interval::IntervalKind;
+
+namespace {
+
+const power::TechnologyParams &
+tech70()
+{
+    return power::node_params(power::TechNode::Nm70);
+}
+
+} // namespace
+
+TEST(StateModel, StatePowersMatchTechnology)
+{
+    const StateModel sm(tech70());
+    EXPECT_DOUBLE_EQ(sm.state_power(Mode::Active), 1.0);
+    EXPECT_NEAR(sm.state_power(Mode::Drowsy), 1.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(sm.state_power(Mode::Sleep), 0.0);
+}
+
+TEST(StateModel, EdgeWeightsMatchDefinitions)
+{
+    const TransitionEnergies e = transition_energies(tech70());
+    const auto &t = tech70().timings;
+    EXPECT_DOUBLE_EQ(e.active_to_drowsy, static_cast<double>(t.d1));
+    EXPECT_DOUBLE_EQ(e.drowsy_to_active, static_cast<double>(t.d3));
+    EXPECT_DOUBLE_EQ(e.active_to_sleep, static_cast<double>(t.s1));
+    EXPECT_NEAR(e.sleep_to_active,
+                static_cast<double>(t.s3 + t.s4) + tech70().refetch_energy,
+                1e-12);
+    const TransitionEnergies free =
+        transition_energies(tech70(), /*charge_refetch=*/false);
+    EXPECT_NEAR(free.sleep_to_active, static_cast<double>(t.s3 + t.s4),
+                1e-12);
+}
+
+/**
+ * Parameterized cross-validation: per-cycle accumulation equals the
+ * closed form for every mode/kind over a sweep of lengths.
+ */
+class StateVsClosedForm : public ::testing::TestWithParam<power::TechNode>
+{
+};
+
+TEST_P(StateVsClosedForm, Everywhere)
+{
+    const auto &tech = power::node_params(GetParam());
+    const StateModel sm(tech);
+    const EnergyModel em(tech);
+
+    for (Mode mode : {Mode::Active, Mode::Drowsy, Mode::Sleep}) {
+        for (IntervalKind kind :
+             {IntervalKind::Inner, IntervalKind::Leading,
+              IntervalKind::Trailing, IntervalKind::Untouched}) {
+            for (Cycles len :
+                 {0ULL, 1ULL, 6ULL, 7ULL, 30ULL, 37ULL, 38ULL, 100ULL,
+                  1057ULL, 1058ULL, 5000ULL, 65536ULL}) {
+                if (!em.applicable(mode, len, kind))
+                    continue;
+                for (bool cd : {true, false}) {
+                    EXPECT_NEAR(sm.simulate_interval(mode, len, kind, cd),
+                                em.energy(mode, len, kind, cd),
+                                1e-7 * std::max<double>(1.0, len))
+                        << mode_name(mode) << " "
+                        << interval::kind_name(kind) << " len=" << len
+                        << " cd=" << cd;
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNodes, StateVsClosedForm,
+    ::testing::Values(power::TechNode::Nm70, power::TechNode::Nm100,
+                      power::TechNode::Nm130, power::TechNode::Nm180),
+    [](const ::testing::TestParamInfo<power::TechNode> &info) {
+        const std::string n = power::node_params(info.param).name;
+        return "Nm" + n.substr(0, n.size() - 2);
+    });
+
+TEST(StateModel, ScheduleSingleDrowsyResidency)
+{
+    // Active -> Drowsy (resident R) -> Active must equal the inner
+    // drowsy closed form of an interval of length d1 + R + d3.
+    const StateModel sm(tech70());
+    const EnergyModel em(tech70());
+    const auto &t = tech70().timings;
+    const Cycles resident = 100;
+    const Energy via_schedule =
+        sm.simulate_schedule({{Mode::Drowsy, resident}});
+    const Energy via_closed =
+        em.energy(Mode::Drowsy, t.d1 + resident + t.d3,
+                  IntervalKind::Inner);
+    EXPECT_NEAR(via_schedule, via_closed, 1e-9);
+}
+
+TEST(StateModel, ScheduleSleepResidency)
+{
+    const StateModel sm(tech70());
+    const EnergyModel em(tech70());
+    const auto &t = tech70().timings;
+    const Cycles resident = 5000;
+    const Energy via_schedule =
+        sm.simulate_schedule({{Mode::Sleep, resident}});
+    const Energy via_closed =
+        em.energy(Mode::Sleep, t.s1 + resident + t.s3 + t.s4,
+                  IntervalKind::Inner);
+    EXPECT_NEAR(via_schedule, via_closed, 1e-9);
+}
+
+TEST(StateModel, ScheduleChargesEachTransitionOnce)
+{
+    // Active(10) -> Drowsy(20) -> Active(10) -> Drowsy(5) -> close.
+    const StateModel sm(tech70());
+    const TransitionEnergies e = transition_energies(tech70());
+    const double expected = 10.0 + e.active_to_drowsy +
+                            20.0 / 3.0 + e.drowsy_to_active + 10.0 +
+                            e.active_to_drowsy + 5.0 / 3.0 +
+                            e.drowsy_to_active;
+    const Energy got = sm.simulate_schedule({{Mode::Active, 10},
+                                             {Mode::Drowsy, 20},
+                                             {Mode::Active, 10},
+                                             {Mode::Drowsy, 5}});
+    EXPECT_NEAR(got, expected, 1e-9);
+}
+
+TEST(StateModel, NoDrowsySleepEdgeInFigure6)
+{
+    // The Fig. 6 graph has no direct drowsy<->sleep edge; such a
+    // schedule is an internal contract violation.
+    const StateModel sm(tech70());
+    EXPECT_DEATH((void)sm.simulate_schedule(
+                     {{Mode::Drowsy, 10}, {Mode::Sleep, 10}}),
+                 "edge");
+}
+
+TEST(StateModel, MidIntervalSwitchNeverBeatsSingleMode)
+{
+    // Section 3.1's "interval atomicity" argument: splitting an
+    // interval between modes (passing through Active, as the graph
+    // requires) cannot beat committing to the best single mode.
+    const StateModel sm(tech70());
+    const EnergyModel em(tech70());
+    const auto &t = tech70().timings;
+
+    for (Cycles total : {200ULL, 1200ULL, 4000ULL, 60'000ULL}) {
+        const Energy best = em.optimal_energy(total, IntervalKind::Inner);
+        // Drowsy-then-sleep split with an Active hop between.
+        for (Cycles first = 10; first + 100 < total; first += total / 7) {
+            const Cycles d_res =
+                first > t.drowsy_overhead() ? first - t.drowsy_overhead()
+                                            : 0;
+            const Cycles rest = total - first;
+            if (rest <= t.sleep_overhead() + 1)
+                continue;
+            const Cycles s_res = rest - t.sleep_overhead() - 1;
+            const Energy split = sm.simulate_schedule(
+                {{Mode::Drowsy, d_res},
+                 {Mode::Active, 1},
+                 {Mode::Sleep, s_res}});
+            EXPECT_GE(split, best - 1e-9)
+                << "total=" << total << " first=" << first;
+        }
+    }
+}

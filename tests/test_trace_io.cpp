@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests of binary trace IO: round-tripping, magic validation, and
+ * error handling for missing/corrupt files.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/trace_io.hpp"
+#include "util/random.hpp"
+
+using namespace leakbound;
+using namespace leakbound::trace;
+
+namespace {
+
+std::string
+temp_path(const char *name)
+{
+    return ::testing::TempDir() + name;
+}
+
+} // namespace
+
+TEST(TraceIo, RoundTripsRecords)
+{
+    const std::string path = temp_path("lb_trace_roundtrip.bin");
+    util::Rng rng(4);
+    std::vector<TimedAccess> expected;
+    {
+        TraceWriter w(path);
+        for (int i = 0; i < 1000; ++i) {
+            TimedAccess rec;
+            rec.cycle = i * 3;
+            rec.pc = 0x400000 + rng.next_below(1 << 20);
+            rec.addr = rng.next_u64() >> 16;
+            rec.kind = static_cast<InstrKind>(rng.next_below(3));
+            w.write(rec);
+            expected.push_back(rec);
+        }
+        EXPECT_EQ(w.count(), 1000u);
+    }
+    TraceReader r(path);
+    TimedAccess rec;
+    for (const TimedAccess &want : expected) {
+        ASSERT_TRUE(r.next(rec));
+        EXPECT_EQ(rec.cycle, want.cycle);
+        EXPECT_EQ(rec.pc, want.pc);
+        EXPECT_EQ(rec.addr, want.addr);
+        EXPECT_EQ(rec.kind, want.kind);
+    }
+    EXPECT_FALSE(r.next(rec));
+    EXPECT_EQ(r.count(), 1000u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, EmptyTraceReadsNothing)
+{
+    const std::string path = temp_path("lb_trace_empty.bin");
+    { TraceWriter w(path); }
+    TraceReader r(path);
+    TimedAccess rec;
+    EXPECT_FALSE(r.next(rec));
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileIsFatal)
+{
+    EXPECT_EXIT(TraceReader("/nonexistent/path/trace.bin"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceIo, BadMagicIsFatal)
+{
+    const std::string path = temp_path("lb_trace_bad.bin");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "this is not a trace file at all";
+    }
+    EXPECT_EXIT(TraceReader reader(path), ::testing::ExitedWithCode(1),
+                "not a leakbound trace");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, UnwritablePathIsFatal)
+{
+    EXPECT_EXIT(TraceWriter("/nonexistent/dir/trace.bin"),
+                ::testing::ExitedWithCode(1), "cannot create");
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_decay_sweep.dir/ablation_decay_sweep.cpp.o"
+  "CMakeFiles/ablation_decay_sweep.dir/ablation_decay_sweep.cpp.o.d"
+  "ablation_decay_sweep"
+  "ablation_decay_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_decay_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

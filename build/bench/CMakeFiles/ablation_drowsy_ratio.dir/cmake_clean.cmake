@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_drowsy_ratio.dir/ablation_drowsy_ratio.cpp.o"
+  "CMakeFiles/ablation_drowsy_ratio.dir/ablation_drowsy_ratio.cpp.o.d"
+  "ablation_drowsy_ratio"
+  "ablation_drowsy_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_drowsy_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

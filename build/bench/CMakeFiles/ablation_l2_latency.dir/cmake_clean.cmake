@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_l2_latency.dir/ablation_l2_latency.cpp.o"
+  "CMakeFiles/ablation_l2_latency.dir/ablation_l2_latency.cpp.o.d"
+  "ablation_l2_latency"
+  "ablation_l2_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_l2_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

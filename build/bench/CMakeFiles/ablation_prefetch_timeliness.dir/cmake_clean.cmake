@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_prefetch_timeliness.dir/ablation_prefetch_timeliness.cpp.o"
+  "CMakeFiles/ablation_prefetch_timeliness.dir/ablation_prefetch_timeliness.cpp.o.d"
+  "ablation_prefetch_timeliness"
+  "ablation_prefetch_timeliness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prefetch_timeliness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

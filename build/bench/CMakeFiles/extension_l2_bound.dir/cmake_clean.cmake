@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_l2_bound.dir/extension_l2_bound.cpp.o"
+  "CMakeFiles/extension_l2_bound.dir/extension_l2_bound.cpp.o.d"
+  "extension_l2_bound"
+  "extension_l2_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_l2_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

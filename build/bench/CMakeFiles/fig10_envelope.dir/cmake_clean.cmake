@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_envelope.dir/fig10_envelope.cpp.o"
+  "CMakeFiles/fig10_envelope.dir/fig10_envelope.cpp.o.d"
+  "fig10_envelope"
+  "fig10_envelope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_envelope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

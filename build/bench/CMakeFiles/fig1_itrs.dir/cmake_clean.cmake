@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_itrs.dir/fig1_itrs.cpp.o"
+  "CMakeFiles/fig1_itrs.dir/fig1_itrs.cpp.o.d"
+  "fig1_itrs"
+  "fig1_itrs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_itrs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

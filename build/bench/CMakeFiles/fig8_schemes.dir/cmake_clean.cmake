@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_schemes.dir/fig8_schemes.cpp.o"
+  "CMakeFiles/fig8_schemes.dir/fig8_schemes.cpp.o.d"
+  "fig8_schemes"
+  "fig8_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_prefetchability.dir/fig9_prefetchability.cpp.o"
+  "CMakeFiles/fig9_prefetchability.dir/fig9_prefetchability.cpp.o.d"
+  "fig9_prefetchability"
+  "fig9_prefetchability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_prefetchability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_prefetch_blend.dir/future_prefetch_blend.cpp.o"
+  "CMakeFiles/future_prefetch_blend.dir/future_prefetch_blend.cpp.o.d"
+  "future_prefetch_blend"
+  "future_prefetch_blend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_prefetch_blend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

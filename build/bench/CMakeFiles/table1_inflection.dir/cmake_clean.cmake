@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_inflection.dir/table1_inflection.cpp.o"
+  "CMakeFiles/table1_inflection.dir/table1_inflection.cpp.o.d"
+  "table1_inflection"
+  "table1_inflection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_inflection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_tech_scaling.dir/table2_tech_scaling.cpp.o"
+  "CMakeFiles/table2_tech_scaling.dir/table2_tech_scaling.cpp.o.d"
+  "table2_tech_scaling"
+  "table2_tech_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_tech_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

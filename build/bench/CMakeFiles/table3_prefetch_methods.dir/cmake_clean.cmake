@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_prefetch_methods.dir/table3_prefetch_methods.cpp.o"
+  "CMakeFiles/table3_prefetch_methods.dir/table3_prefetch_methods.cpp.o.d"
+  "table3_prefetch_methods"
+  "table3_prefetch_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_prefetch_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

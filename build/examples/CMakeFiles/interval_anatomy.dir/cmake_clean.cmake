@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_anatomy.dir/interval_anatomy.cpp.o"
+  "CMakeFiles/interval_anatomy.dir/interval_anatomy.cpp.o.d"
+  "interval_anatomy"
+  "interval_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

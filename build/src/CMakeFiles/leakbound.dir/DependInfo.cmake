@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/energy_model.cpp" "src/CMakeFiles/leakbound.dir/core/energy_model.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/core/energy_model.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/leakbound.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/generalized_model.cpp" "src/CMakeFiles/leakbound.dir/core/generalized_model.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/core/generalized_model.cpp.o.d"
+  "/root/repo/src/core/inflection.cpp" "src/CMakeFiles/leakbound.dir/core/inflection.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/core/inflection.cpp.o.d"
+  "/root/repo/src/core/optimal.cpp" "src/CMakeFiles/leakbound.dir/core/optimal.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/core/optimal.cpp.o.d"
+  "/root/repo/src/core/policies.cpp" "src/CMakeFiles/leakbound.dir/core/policies.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/core/policies.cpp.o.d"
+  "/root/repo/src/core/savings.cpp" "src/CMakeFiles/leakbound.dir/core/savings.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/core/savings.cpp.o.d"
+  "/root/repo/src/core/state_model.cpp" "src/CMakeFiles/leakbound.dir/core/state_model.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/core/state_model.cpp.o.d"
+  "/root/repo/src/cpu/inorder_core.cpp" "src/CMakeFiles/leakbound.dir/cpu/inorder_core.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/cpu/inorder_core.cpp.o.d"
+  "/root/repo/src/interval/collector.cpp" "src/CMakeFiles/leakbound.dir/interval/collector.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/interval/collector.cpp.o.d"
+  "/root/repo/src/interval/interval.cpp" "src/CMakeFiles/leakbound.dir/interval/interval.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/interval/interval.cpp.o.d"
+  "/root/repo/src/interval/interval_histogram.cpp" "src/CMakeFiles/leakbound.dir/interval/interval_histogram.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/interval/interval_histogram.cpp.o.d"
+  "/root/repo/src/power/cacti_lite.cpp" "src/CMakeFiles/leakbound.dir/power/cacti_lite.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/power/cacti_lite.cpp.o.d"
+  "/root/repo/src/power/hotleakage.cpp" "src/CMakeFiles/leakbound.dir/power/hotleakage.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/power/hotleakage.cpp.o.d"
+  "/root/repo/src/power/itrs.cpp" "src/CMakeFiles/leakbound.dir/power/itrs.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/power/itrs.cpp.o.d"
+  "/root/repo/src/power/technology.cpp" "src/CMakeFiles/leakbound.dir/power/technology.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/power/technology.cpp.o.d"
+  "/root/repo/src/prefetch/next_line.cpp" "src/CMakeFiles/leakbound.dir/prefetch/next_line.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/prefetch/next_line.cpp.o.d"
+  "/root/repo/src/prefetch/prefetchability.cpp" "src/CMakeFiles/leakbound.dir/prefetch/prefetchability.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/prefetch/prefetchability.cpp.o.d"
+  "/root/repo/src/prefetch/stride.cpp" "src/CMakeFiles/leakbound.dir/prefetch/stride.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/prefetch/stride.cpp.o.d"
+  "/root/repo/src/sim/belady.cpp" "src/CMakeFiles/leakbound.dir/sim/belady.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/sim/belady.cpp.o.d"
+  "/root/repo/src/sim/cache.cpp" "src/CMakeFiles/leakbound.dir/sim/cache.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/sim/cache.cpp.o.d"
+  "/root/repo/src/sim/cache_config.cpp" "src/CMakeFiles/leakbound.dir/sim/cache_config.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/sim/cache_config.cpp.o.d"
+  "/root/repo/src/sim/hierarchy.cpp" "src/CMakeFiles/leakbound.dir/sim/hierarchy.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/sim/hierarchy.cpp.o.d"
+  "/root/repo/src/sim/replacement.cpp" "src/CMakeFiles/leakbound.dir/sim/replacement.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/sim/replacement.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/CMakeFiles/leakbound.dir/trace/trace_io.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/trace/trace_io.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/leakbound.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/leakbound.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/CMakeFiles/leakbound.dir/util/histogram.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/util/histogram.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/leakbound.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/leakbound.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/string_utils.cpp" "src/CMakeFiles/leakbound.dir/util/string_utils.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/util/string_utils.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/leakbound.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/util/table.cpp.o.d"
+  "/root/repo/src/workload/callgraph.cpp" "src/CMakeFiles/leakbound.dir/workload/callgraph.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/workload/callgraph.cpp.o.d"
+  "/root/repo/src/workload/data_pattern.cpp" "src/CMakeFiles/leakbound.dir/workload/data_pattern.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/workload/data_pattern.cpp.o.d"
+  "/root/repo/src/workload/loop_program.cpp" "src/CMakeFiles/leakbound.dir/workload/loop_program.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/workload/loop_program.cpp.o.d"
+  "/root/repo/src/workload/spec_suite.cpp" "src/CMakeFiles/leakbound.dir/workload/spec_suite.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/workload/spec_suite.cpp.o.d"
+  "/root/repo/src/workload/workload.cpp" "src/CMakeFiles/leakbound.dir/workload/workload.cpp.o" "gcc" "src/CMakeFiles/leakbound.dir/workload/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

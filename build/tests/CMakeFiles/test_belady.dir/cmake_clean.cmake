@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_belady.dir/test_belady.cpp.o"
+  "CMakeFiles/test_belady.dir/test_belady.cpp.o.d"
+  "test_belady"
+  "test_belady.pdb"
+  "test_belady[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_belady.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

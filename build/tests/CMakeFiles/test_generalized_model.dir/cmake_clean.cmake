@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_generalized_model.dir/test_generalized_model.cpp.o"
+  "CMakeFiles/test_generalized_model.dir/test_generalized_model.cpp.o.d"
+  "test_generalized_model"
+  "test_generalized_model.pdb"
+  "test_generalized_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_generalized_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inflection.dir/test_inflection.cpp.o"
+  "CMakeFiles/test_inflection.dir/test_inflection.cpp.o.d"
+  "test_inflection"
+  "test_inflection.pdb"
+  "test_inflection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inflection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interval_histogram.dir/test_interval_histogram.cpp.o"
+  "CMakeFiles/test_interval_histogram.dir/test_interval_histogram.cpp.o.d"
+  "test_interval_histogram"
+  "test_interval_histogram.pdb"
+  "test_interval_histogram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interval_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_state_model.dir/test_state_model.cpp.o"
+  "CMakeFiles/test_state_model.dir/test_state_model.cpp.o.d"
+  "test_state_model"
+  "test_state_model.pdb"
+  "test_state_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_state_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_power[1]_include.cmake")
+include("/root/repo/build/tests/test_energy_model[1]_include.cmake")
+include("/root/repo/build/tests/test_inflection[1]_include.cmake")
+include("/root/repo/build/tests/test_policies[1]_include.cmake")
+include("/root/repo/build/tests/test_savings[1]_include.cmake")
+include("/root/repo/build/tests/test_state_model[1]_include.cmake")
+include("/root/repo/build/tests/test_optimal[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_cpu[1]_include.cmake")
+include("/root/repo/build/tests/test_collector[1]_include.cmake")
+include("/root/repo/build/tests/test_interval_histogram[1]_include.cmake")
+include("/root/repo/build/tests/test_prefetch[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_io[1]_include.cmake")
+include("/root/repo/build/tests/test_experiment[1]_include.cmake")
+include("/root/repo/build/tests/test_generalized_model[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_belady[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_cache_geometry[1]_include.cmake")

@@ -23,7 +23,7 @@ main(int argc, char **argv)
                         "ablation: dead-interval CD accounting");
     cli.parse(argc, argv);
 
-    const auto runs = run_standard_suite(cli.get_u64("instructions"));
+    const auto runs = run_standard_suite(cli);
     const core::EnergyModel model(
         power::node_params(power::TechNode::Nm70));
 
@@ -61,7 +61,9 @@ main(int argc, char **argv)
                                       paper_acct.savings, 2),
                  util::format_commas(paper_acct.induced_misses)});
         }
-        table.print();
+        emit(table, cli,
+             side == CacheSide::Instruction ? "dead_intervals_icache"
+                                            : "dead_intervals_dcache");
     }
     std::printf("paper claim (Section 3.1): at the optimum, dead-period\n"
                 "refinement adds little — long intervals sleep either\n"

@@ -21,7 +21,7 @@ main(int argc, char **argv)
                         "ablation: decay interval sweep");
     cli.parse(argc, argv);
 
-    const auto runs = run_standard_suite(cli.get_u64("instructions"));
+    const auto runs = run_standard_suite(cli);
     const core::EnergyModel model(
         power::node_params(power::TechNode::Nm70));
 
@@ -48,7 +48,7 @@ main(int argc, char **argv)
          pct(suite_average(*bound, runs, CacheSide::Instruction).savings),
          pct(suite_average(*bound, runs, CacheSide::Data).savings), "-",
          "-"});
-    table.print();
+    emit(table, cli, "decay_sweep");
 
     std::printf("shorter decay sleeps more but induces more re-fetches\n"
                 "(and every setting keeps paying the per-line counter);\n"

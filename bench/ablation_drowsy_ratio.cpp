@@ -38,7 +38,7 @@ main(int argc, char **argv)
             extra.push_back(t);
     }
     const auto runs =
-        run_standard_suite(cli.get_u64("instructions"), extra);
+        run_standard_suite(cli, extra);
 
     util::Table table(
         "drowsy ratio ablation, 70nm geometry (suite average)");
@@ -66,7 +66,7 @@ main(int argc, char **argv)
              pct(pooled(CacheSide::Instruction, true)) + " / " +
                  pct(pooled(CacheSide::Data, true))});
     }
-    table.print();
+    emit(table, cli, "drowsy_ratio");
 
     std::printf("a leakier drowsy mode (larger ratio) pulls b down —\n"
                 "sleep takes over earlier — and caps OPT-Drowsy at\n"

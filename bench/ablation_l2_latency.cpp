@@ -24,7 +24,6 @@ main(int argc, char **argv)
     auto cli = make_cli("ablation_l2_latency",
                         "ablation: L2 latency vs inflection and bounds");
     cli.parse(argc, argv);
-    const std::uint64_t instructions = cli.get_u64("instructions");
 
     const Cycles latencies[] = {7, 14, 30, 60};
 
@@ -51,7 +50,7 @@ main(int argc, char **argv)
         // Re-simulate with the slower L2 so the timing feedback (longer
         // stalls stretch every interval) is included.
         core::ExperimentConfig config;
-        config.instructions = instructions;
+        apply_suite_flags(config, cli);
         config.hierarchy.l2.hit_latency = latencies[i];
         config.hierarchy.memory_latency =
             std::max<Cycles>(100, latencies[i] * 4);
@@ -59,7 +58,7 @@ main(int argc, char **argv)
         config.extra_edges.insert(config.extra_edges.end(), extra.begin(),
                                   extra.end());
         const auto runs =
-            core::run_suite(workload::suite_names(), config);
+            run_suite_reported(workload::suite_names(), config, cli);
 
         core::GeneralizedModelInputs inputs;
         inputs.tech = techs[i];
@@ -87,7 +86,7 @@ main(int argc, char **argv)
              pct(pooled(CacheSide::Instruction, 2)) + " / " +
                  pct(pooled(CacheSide::Data, 2))});
     }
-    table.print();
+    emit(table, cli, "l2_latency");
 
     std::printf("as the L2 slows, b rises (sleep needs longer intervals\n"
                 "to amortize the wait), OPT-Sleep degrades and drowsy\n"

@@ -21,7 +21,7 @@ main(int argc, char **argv)
                         "ablation: literature policies vs the bound");
     cli.parse(argc, argv);
 
-    const auto runs = run_standard_suite(cli.get_u64("instructions"));
+    const auto runs = run_standard_suite(cli);
     const core::EnergyModel model(
         power::node_params(power::TechNode::Nm70));
 
@@ -48,7 +48,7 @@ main(int argc, char **argv)
     add(core::make_opt_drowsy(model));
     add(core::make_opt_sleep(model, 1057));
     add(core::make_opt_hybrid(model));
-    table.print();
+    emit(table, cli, "policy_zoo");
 
     std::printf(
         "periodic drowsy caps out near the drowsy asymptote (66.7%%)\n"

@@ -24,7 +24,6 @@ main(int argc, char **argv)
     auto cli = make_cli("ablation_prefetch_timeliness",
                         "ablation: NL coverage lead-time requirement");
     cli.parse(argc, argv);
-    const std::uint64_t instructions = cli.get_u64("instructions");
 
     const core::EnergyModel model(
         power::node_params(power::TechNode::Nm70));
@@ -40,11 +39,11 @@ main(int argc, char **argv)
 
     for (Cycles lead : {Cycles{0}, Cycles{7}, Cycles{100}}) {
         core::ExperimentConfig config;
-        config.instructions = instructions;
+        apply_suite_flags(config, cli);
         config.extra_edges = core::standard_extra_edges();
         config.nl_lead_time = lead;
         const auto runs =
-            core::run_suite(workload::suite_names(), config);
+            run_suite_reported(workload::suite_names(), config, cli);
 
         double i_nl = 0, d_nl = 0;
         for (const auto &run : runs) {
@@ -69,7 +68,7 @@ main(int argc, char **argv)
                      .savings),
              pct(suite_average(*pb_d, runs, CacheSide::Data).savings)});
     }
-    table.print();
+    emit(table, cli, "prefetch_timeliness");
 
     std::printf("requiring realistic lead time trims coverage only\n"
                 "slightly (triggers usually precede the covered access\n"

@@ -36,11 +36,12 @@ main(int argc, char **argv)
           sim::ReplacementKind::Random}) {
         core::ExperimentConfig config;
         config.instructions = instructions;
+        config.jobs = suite_jobs(cli);
         config.extra_edges = core::standard_extra_edges();
         config.hierarchy.l1i.replacement = kind;
         config.hierarchy.l1d.replacement = kind;
         const auto runs =
-            core::run_suite(workload::suite_names(), config);
+            run_suite_reported(workload::suite_names(), config, cli);
 
         double misses = 0, accesses = 0;
         for (const auto &run : runs) {
@@ -55,7 +56,7 @@ main(int argc, char **argv)
                      .savings),
              pct(suite_average(*hybrid, runs, CacheSide::Data).savings)});
     }
-    table.print();
+    emit(table, cli, "replacement_bound");
 
     // Part (b): Belady-MIN vs the online policies on one benchmark's
     // data stream (addresses only; timing is irrelevant to miss rate).
@@ -90,7 +91,7 @@ main(int argc, char **argv)
     minvs.add_row({"Belady-MIN (offline bound)",
                    util::format_commas(opt.stats.misses),
                    util::format_percent(opt.stats.miss_rate(), 2)});
-    minvs.print();
+    emit(minvs, cli, "belady_min");
 
     std::printf("the leakage bound barely moves with the replacement\n"
                 "policy (intervals are a frame-level property), and MIN\n"

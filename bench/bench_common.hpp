@@ -7,12 +7,26 @@
  *
  * Every bench binary is self-contained: run it with no arguments and
  * it prints the table/figure it reproduces next to the paper's
- * reference numbers.  --instructions scales simulation length.
+ * reference numbers.  Common flags:
+ *
+ *   --instructions N   dynamic instructions per benchmark
+ *   --jobs N           worker threads for the suite; benchmarks are
+ *                      embarrassingly parallel and merged back in
+ *                      suite order, so output is bit-identical for
+ *                      every N.  0 (the default) uses all hardware
+ *                      threads; 1 forces the serial path.
+ *   --json PATH        also write a machine-readable report — every
+ *                      emitted table plus wall-clock and per-benchmark
+ *                      timings — to PATH (e.g. BENCH_suite.json).  The
+ *                      file is rewritten as results accrue, so a
+ *                      partial report is still valid JSON.
+ *   --csv-dir DIR      mirror each table to DIR/<slug>.csv
  */
 
 #ifndef LEAKBOUND_BENCH_BENCH_COMMON_HPP
 #define LEAKBOUND_BENCH_BENCH_COMMON_HPP
 
+#include <chrono>
 #include <functional>
 #include <string>
 #include <vector>
@@ -21,14 +35,111 @@
 #include "core/policies.hpp"
 #include "core/savings.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/string_utils.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/spec_suite.hpp"
 
 namespace leakbound::bench {
 
 /** Default per-benchmark instruction budget for bench runs. */
 inline constexpr std::uint64_t kDefaultInstructions = 4'000'000;
+
+/**
+ * Everything the --json reporter accumulates over a bench binary's
+ * lifetime.  One singleton per process (bench binaries are single
+ * purpose); rewritten to disk after every suite run and table emit.
+ */
+struct BenchReport
+{
+    std::string program;     ///< binary name (from make_cli)
+    std::string description; ///< one-line description (from make_cli)
+
+    /** One simulated benchmark (suite runs may repeat names). */
+    struct RunTiming
+    {
+        std::string benchmark;
+        double wall_seconds = 0.0;
+        std::uint64_t instructions = 0;
+        std::uint64_t cycles = 0;
+        double ipc = 0.0;
+    };
+
+    unsigned jobs = 1;                ///< resolved worker count
+    double suite_wall_seconds = 0.0;  ///< summed over all suite runs
+    std::vector<RunTiming> runs;      ///< per-benchmark timings
+
+    /** One emitted table. */
+    struct TableDump
+    {
+        std::string slug;
+        std::string title;
+        std::vector<std::string> header;
+        std::vector<std::vector<std::string>> rows;
+    };
+
+    std::vector<TableDump> tables;
+
+    /** Render the report as a JSON document. */
+    std::string
+    to_json(const util::Cli &cli) const
+    {
+        util::JsonWriter w;
+        w.begin_object();
+        w.key("bench").value(program);
+        w.key("description").value(description);
+        w.key("flags").begin_object();
+        for (const auto &[name, value] : cli.snapshot())
+            w.key(name).value(value);
+        w.end_object();
+        w.key("jobs").value(static_cast<std::uint64_t>(jobs));
+        w.key("suite_wall_seconds").value(suite_wall_seconds);
+        w.key("benchmarks").begin_array();
+        for (const RunTiming &run : runs) {
+            w.begin_object();
+            w.key("benchmark").value(run.benchmark);
+            w.key("wall_seconds").value(run.wall_seconds);
+            w.key("instructions").value(run.instructions);
+            w.key("cycles").value(run.cycles);
+            w.key("ipc").value(run.ipc);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("tables").begin_array();
+        for (const TableDump &table : tables) {
+            w.begin_object();
+            w.key("slug").value(table.slug);
+            w.key("title").value(table.title);
+            w.key("header").value(table.header);
+            w.key("rows").begin_array();
+            for (const auto &row : table.rows)
+                w.value(row);
+            w.end_array();
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        return w.str();
+    }
+};
+
+/** The process-wide report under construction. */
+inline BenchReport &
+report()
+{
+    static BenchReport instance;
+    return instance;
+}
+
+/** Rewrite the JSON report when --json was given. */
+inline void
+flush_report(const util::Cli &cli)
+{
+    const std::string path = cli.get("json");
+    if (!path.empty())
+        util::write_text_file(path, report().to_json(cli) + "\n");
+}
 
 /** Build the standard CLI for a bench binary. */
 inline util::Cli
@@ -37,15 +148,72 @@ make_cli(const std::string &name, const std::string &desc)
     util::Cli cli(name, desc);
     cli.add_flag("instructions", "dynamic instructions per benchmark",
                  std::to_string(kDefaultInstructions));
+    cli.add_flag("jobs",
+                 "worker threads for suite simulation (0 = all "
+                 "hardware threads); results are merged in suite "
+                 "order, so output is identical for every value",
+                 "0");
+    cli.add_flag("json",
+                 "also write tables + wall-clock/per-benchmark "
+                 "timings to this JSON file (empty = off)",
+                 "");
     cli.add_flag("csv-dir", "also mirror each table to CSV files in "
                             "this directory (empty = off)",
                  "");
+    report().program = name;
+    report().description = desc;
     return cli;
 }
 
+/** The --jobs request, resolved against the hardware. */
+inline unsigned
+suite_jobs(const util::Cli &cli)
+{
+    return util::ThreadPool::effective_jobs(
+        static_cast<unsigned>(cli.get_u64("jobs")));
+}
+
+/** Apply the shared suite flags (--instructions, --jobs) to @p config. */
+inline void
+apply_suite_flags(core::ExperimentConfig &config, const util::Cli &cli)
+{
+    config.instructions = cli.get_u64("instructions");
+    config.jobs = suite_jobs(cli);
+}
+
 /**
- * Print @p table and, when --csv-dir was given, mirror it to
- * <csv-dir>/<slug>.csv.
+ * core::run_suite plus bookkeeping: wall-clock the run and record
+ * per-benchmark timings into the --json report.  All bench binaries
+ * funnel their suite simulations through here.
+ */
+inline std::vector<core::ExperimentResult>
+run_suite_reported(const std::vector<std::string> &names,
+                   const core::ExperimentConfig &config,
+                   const util::Cli &cli)
+{
+    const auto start = std::chrono::steady_clock::now();
+    auto results = core::run_suite(names, config);
+    report().jobs = util::ThreadPool::effective_jobs(config.jobs);
+    report().suite_wall_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    for (const auto &run : results) {
+        BenchReport::RunTiming timing;
+        timing.benchmark = run.workload;
+        timing.wall_seconds = run.wall_seconds;
+        timing.instructions = run.core.instructions;
+        timing.cycles = run.core.cycles;
+        timing.ipc = run.core.ipc();
+        report().runs.push_back(std::move(timing));
+    }
+    flush_report(cli);
+    return results;
+}
+
+/**
+ * Print @p table and, when --csv-dir / --json were given, mirror it to
+ * <csv-dir>/<slug>.csv / the JSON report.
  */
 inline void
 emit(const util::Table &table, const util::Cli &cli,
@@ -55,22 +223,33 @@ emit(const util::Table &table, const util::Cli &cli,
     const std::string dir = cli.get("csv-dir");
     if (!dir.empty())
         table.write_csv(dir + "/" + slug + ".csv");
+
+    BenchReport::TableDump dump;
+    dump.slug = slug;
+    dump.title = table.title();
+    dump.header = table.header();
+    for (const auto &row : table.rows())
+        if (!row.empty()) // drop separator rows
+            dump.rows.push_back(row);
+    report().tables.push_back(std::move(dump));
+    flush_report(cli);
 }
 
 /**
  * Simulate the full six-benchmark suite with histogram edges covering
- * every stock experiment (plus @p extra_edges for custom sweeps).
+ * every stock experiment (plus @p extra_edges for custom sweeps),
+ * honouring --instructions and --jobs.
  */
 inline std::vector<core::ExperimentResult>
-run_standard_suite(std::uint64_t instructions,
+run_standard_suite(const util::Cli &cli,
                    std::vector<Cycles> extra_edges = {})
 {
     core::ExperimentConfig config;
-    config.instructions = instructions;
+    apply_suite_flags(config, cli);
     config.extra_edges = core::standard_extra_edges();
     config.extra_edges.insert(config.extra_edges.end(),
                               extra_edges.begin(), extra_edges.end());
-    return core::run_suite(workload::suite_names(), config);
+    return run_suite_reported(workload::suite_names(), config, cli);
 }
 
 /** Which L1 a scheme is evaluated against. */

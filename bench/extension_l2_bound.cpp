@@ -24,10 +24,10 @@ main(int argc, char **argv)
     cli.parse(argc, argv);
 
     core::ExperimentConfig config;
-    config.instructions = cli.get_u64("instructions");
+    apply_suite_flags(config, cli);
     config.extra_edges = core::standard_extra_edges();
     config.collect_l2 = true;
-    const auto runs = core::run_suite(workload::suite_names(), config);
+    const auto runs = run_suite_reported(workload::suite_names(), config, cli);
 
     util::Table table("oracle bounds on the unified 2MB L2, by node");
     table.set_header({"technology", "OPT-Drowsy", "OPT-Sleep",

@@ -17,8 +17,9 @@ main(int argc, char **argv)
     using namespace leakbound;
     using namespace leakbound::bench;
 
-    util::Cli cli("fig10_envelope",
-                  "Figure 10: mode energies and the optimal envelope");
+    auto cli = make_cli("fig10_envelope",
+                        "Figure 10: mode energies and the optimal "
+                        "envelope");
     cli.parse(argc, argv);
 
     const auto &tech = power::node_params(power::TechNode::Nm70);
@@ -46,7 +47,7 @@ main(int argc, char **argv)
                        fmt(core::Mode::Drowsy), fmt(core::Mode::Sleep),
                        core::mode_name(best)});
     }
-    table.print();
+    emit(table, cli, "fig10_envelope");
 
     std::printf("inflection points: a = %llu, b = %llu "
                 "(paper Table 1: 6, 1057)\n\n",
@@ -64,6 +65,6 @@ main(int argc, char **argv)
                    util::format_fixed(e.active_to_sleep, 1)});
     edges.add_row({"E_SA (sleep->active, incl. re-fetch CD)",
                    util::format_fixed(e.sleep_to_active, 1)});
-    edges.print();
+    emit(edges, cli, "fig6_edges");
     return 0;
 }

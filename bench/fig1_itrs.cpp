@@ -11,7 +11,8 @@ int
 main(int argc, char **argv)
 {
     using namespace leakbound;
-    util::Cli cli("fig1_itrs", "Figure 1: ITRS leakage projection");
+    using namespace leakbound::bench;
+    auto cli = make_cli("fig1_itrs", "Figure 1: ITRS leakage projection");
     cli.parse(argc, argv);
 
     util::Table table(
@@ -23,7 +24,7 @@ main(int argc, char **argv)
         table.add_row({std::to_string(p.year),
                        util::format_percent(p.leakage_fraction), bar});
     }
-    table.print();
+    emit(table, cli, "fig1_itrs");
 
     std::printf("paper reads this figure as: leakage grows from a small\n"
                 "fraction in 1999 toward parity with dynamic power by the\n"

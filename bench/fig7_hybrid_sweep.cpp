@@ -22,7 +22,7 @@ main(int argc, char **argv)
                         "Figure 7: hybrid vs sleep-only threshold sweep");
     cli.parse(argc, argv);
 
-    const auto runs = run_standard_suite(cli.get_u64("instructions"));
+    const auto runs = run_standard_suite(cli);
     const core::EnergyModel model(
         power::node_params(power::TechNode::Nm70));
 

@@ -23,7 +23,7 @@ main(int argc, char **argv)
                         "Figure 8: scheme comparison per benchmark");
     cli.parse(argc, argv);
 
-    const auto runs = run_standard_suite(cli.get_u64("instructions"));
+    const auto runs = run_standard_suite(cli);
     const core::EnergyModel model(
         power::node_params(power::TechNode::Nm70));
 

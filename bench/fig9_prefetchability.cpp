@@ -23,7 +23,7 @@ main(int argc, char **argv)
                         "Figure 9: interval prefetchability");
     cli.parse(argc, argv);
 
-    const auto runs = run_standard_suite(cli.get_u64("instructions"));
+    const auto runs = run_standard_suite(cli);
     const auto points = core::compute_inflection(
         power::node_params(power::TechNode::Nm70));
 
@@ -74,7 +74,9 @@ main(int argc, char **argv)
         emit("(0, 6]   (always active)", total.short_bucket);
         emit("(6, 1057] (drowsy range)", total.drowsy_bucket);
         emit("(1057, inf) (sleep range)", total.sleep_bucket);
-        table.print();
+        // Qualified: the row-building lambda above shadows bench::emit.
+        bench::emit(table, cli,
+                    icache ? "fig9a_icache" : "fig9b_dcache");
 
         const double nl_frac =
             all ? static_cast<double>(nl) / static_cast<double>(all) : 0;

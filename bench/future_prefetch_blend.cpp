@@ -41,7 +41,7 @@ main(int argc, char **argv)
         }
     }
     const auto runs =
-        run_standard_suite(cli.get_u64("instructions"), extra);
+        run_standard_suite(cli, extra);
 
     // Prefetch-A's drowsy tally counts only *hidden* (prefetch-covered)
     // drowses; subtracting it from a blend's tally isolates the

@@ -12,8 +12,9 @@ int
 main(int argc, char **argv)
 {
     using namespace leakbound;
-    util::Cli cli("table1_inflection",
-                  "Table 1: inflection points vs technology");
+    using namespace leakbound::bench;
+    auto cli = make_cli("table1_inflection",
+                        "Table 1: inflection points vs technology");
     cli.parse(argc, argv);
 
     struct PaperRow
@@ -45,7 +46,7 @@ main(int argc, char **argv)
                        std::to_string(row.a), util::format_commas(row.b),
                        match ? "yes" : "NO"});
     }
-    table.print();
+    emit(table, cli, "table1_inflection");
     std::printf("drowsy-sleep point shrinks as technology scales down:\n"
                 "per-line leakage grows while the induced-miss dynamic\n"
                 "energy shrinks (paper Section 4.2).  all rows match: %s\n",

@@ -22,7 +22,7 @@ main(int argc, char **argv)
                         "Table 2: optimal savings vs technology node");
     cli.parse(argc, argv);
 
-    const auto runs = run_standard_suite(cli.get_u64("instructions"));
+    const auto runs = run_standard_suite(cli);
 
     struct PaperRow
     {

@@ -25,10 +25,10 @@ main(int argc, char **argv)
     def.add_row({"prefetchable, length > 1057", "sleep", "sleep"});
     def.add_row({"non-prefetchable, length > 6", "active", "drowsy"});
     def.add_row({"length <= 6", "active", "active"});
-    def.print();
+    emit(def, cli, "table3_definitions");
 
     // Measured effect on the suite.
-    const auto runs = run_standard_suite(cli.get_u64("instructions"));
+    const auto runs = run_standard_suite(cli);
     const core::EnergyModel model(
         power::node_params(power::TechNode::Nm70));
     using interval::PrefetchClass;
@@ -54,7 +54,7 @@ main(int argc, char **argv)
         core::make_prefetch(model, core::PrefetchVariant::B, dcls));
     add("OPT-Hybrid (bound)", core::make_opt_hybrid(model),
         core::make_opt_hybrid(model));
-    meas.print();
+    emit(meas, cli, "table3_measured");
 
     std::printf("paper: Prefetch-B approaches the bound within 5.3\n"
                 "points (I-cache) / 6.7 points (D-cache); the A-B gap is\n"

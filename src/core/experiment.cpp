@@ -5,13 +5,18 @@
 
 #include "core/experiment.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <future>
 #include <memory>
+#include <utility>
 
 #include "core/inflection.hpp"
 #include "core/policies.hpp"
 #include "interval/collector.hpp"
 #include "prefetch/next_line.hpp"
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/spec_suite.hpp"
 
 namespace leakbound::core {
@@ -150,6 +155,7 @@ standard_extra_edges()
 ExperimentResult
 run_experiment(workload::Workload &workload, const ExperimentConfig &config)
 {
+    const auto wall_start = std::chrono::steady_clock::now();
     config.hierarchy.validate();
 
     auto edges =
@@ -200,6 +206,9 @@ run_experiment(workload::Workload &workload, const ExperimentConfig &config)
     result.icache.stats = hierarchy.l1i().stats();
     result.dcache.stats = hierarchy.l1d().stats();
     result.l2 = hierarchy.l2().stats();
+    result.wall_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - wall_start)
+                              .count();
 
     util::debug("experiment '", result.workload, "': ",
                 result.core.instructions, " instrs, ", result.core.cycles,
@@ -211,14 +220,42 @@ std::vector<ExperimentResult>
 run_suite(const std::vector<std::string> &names,
           const ExperimentConfig &config)
 {
+    const unsigned jobs =
+        std::min<std::size_t>(util::ThreadPool::effective_jobs(config.jobs),
+                              std::max<std::size_t>(names.size(), 1));
     std::vector<ExperimentResult> results;
     results.reserve(names.size());
+
+    if (jobs <= 1) {
+        for (const std::string &name : names) {
+            workload::WorkloadPtr w = workload::make_benchmark(name);
+            util::inform("simulating ", name, " (",
+                         config.instructions, " instructions)");
+            results.push_back(run_experiment(*w, config));
+        }
+        return results;
+    }
+
+    // Workloads are built on this thread (make_benchmark fatal()s on
+    // unknown names; better to die before spawning workers), then each
+    // simulation runs into its own collectors.  Collecting futures in
+    // submission order makes the merge deterministic: the output is
+    // bit-identical to the serial loop for any jobs value.
+    util::inform("simulating ", names.size(), " benchmarks on ", jobs,
+                 " threads (", config.instructions,
+                 " instructions each)");
+    util::ThreadPool pool(jobs);
+    std::vector<std::future<ExperimentResult>> futures;
+    futures.reserve(names.size());
     for (const std::string &name : names) {
         workload::WorkloadPtr w = workload::make_benchmark(name);
-        util::inform("simulating ", name, " (",
-                     config.instructions, " instructions)");
-        results.push_back(run_experiment(*w, config));
+        futures.push_back(pool.submit(
+            [workload = std::move(w), &config]() mutable {
+                return run_experiment(*workload, config);
+            }));
     }
+    for (auto &future : futures)
+        results.push_back(future.get()); // rethrows worker exceptions
     return results;
 }
 

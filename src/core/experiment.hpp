@@ -53,6 +53,14 @@ struct ExperimentConfig
      * collector over 32K frames.
      */
     bool collect_l2 = false;
+    /**
+     * Worker threads run_suite() spreads the benchmarks over; 0 means
+     * hardware_concurrency, 1 forces the serial path.  Each benchmark
+     * simulates into its own private IntervalHistogramSet and results
+     * are merged back in suite order, so the output is bit-identical
+     * for every jobs value.
+     */
+    unsigned jobs = 1;
 };
 
 /** What one cache yielded. */
@@ -78,6 +86,11 @@ struct ExperimentResult
     /** Populated only when ExperimentConfig::collect_l2 was set. */
     std::optional<CacheObservation> l2cache;
     sim::CacheStats l2;
+    /**
+     * Wall-clock time the simulation took, in seconds (reporting only;
+     * never feeds back into simulated results).
+     */
+    double wall_seconds = 0.0;
 
     ExperimentResult(CacheObservation ic, CacheObservation dc)
         : icache(std::move(ic)), dcache(std::move(dc))
@@ -97,7 +110,15 @@ std::vector<Cycles> standard_extra_edges();
 ExperimentResult run_experiment(workload::Workload &workload,
                                 const ExperimentConfig &config);
 
-/** Run a list of benchmarks from the suite (workload::make_benchmark). */
+/**
+ * Run a list of benchmarks from the suite (workload::make_benchmark).
+ *
+ * With config.jobs != 1 the benchmarks run concurrently on a
+ * util::ThreadPool — each into its own collector set — and the result
+ * vector is assembled in @p names order, so callers observe exactly
+ * the serial output regardless of the worker count.  A failure inside
+ * any worker propagates to the caller.
+ */
 std::vector<ExperimentResult>
 run_suite(const std::vector<std::string> &names,
           const ExperimentConfig &config);

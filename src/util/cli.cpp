@@ -113,6 +113,16 @@ Cli::get_bool(const std::string &name) const
     return v == "1" || v == "true" || v == "yes" || v == "on";
 }
 
+std::vector<std::pair<std::string, std::string>>
+Cli::snapshot() const
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    out.reserve(flags_.size());
+    for (const auto &[key, flag] : flags_)
+        out.emplace_back(key, flag.value);
+    return out;
+}
+
 std::string
 Cli::usage() const
 {

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace leakbound::util {
@@ -56,6 +57,13 @@ class Cli
 
     /** Render the --help text. */
     std::string usage() const;
+
+    /**
+     * Current (name, value) of every registered flag, sorted by name —
+     * the bench JSON reports embed this so a result file records the
+     * exact invocation that produced it.
+     */
+    std::vector<std::pair<std::string, std::string>> snapshot() const;
 
   private:
     struct Flag

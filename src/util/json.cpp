@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Implementation of the streaming JSON writer.
+ */
+
+#include "util/json.hpp"
+
+#include <cstdio>
+
+#include "util/logging.hpp"
+
+namespace leakbound::util {
+
+std::string
+json_escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+JsonWriter::JsonWriter() = default;
+
+void
+JsonWriter::newline_indent()
+{
+    out_ << '\n';
+    for (std::size_t i = 0; i < scopes_.size(); ++i)
+        out_ << "  ";
+}
+
+void
+JsonWriter::before_value()
+{
+    if (scopes_.empty())
+        return; // root value
+    if (scopes_.back() == Scope::Object) {
+        LEAKBOUND_ASSERT(pending_key_,
+                         "JSON object value emitted without a key");
+        pending_key_ = false;
+        return; // key() already handled comma/indent
+    }
+    if (has_entries_.back())
+        out_ << ',';
+    newline_indent();
+    has_entries_.back() = true;
+}
+
+JsonWriter &
+JsonWriter::begin_object()
+{
+    before_value();
+    out_ << '{';
+    scopes_.push_back(Scope::Object);
+    has_entries_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::end_object()
+{
+    LEAKBOUND_ASSERT(!scopes_.empty() && scopes_.back() == Scope::Object,
+                     "end_object with no open object");
+    LEAKBOUND_ASSERT(!pending_key_, "end_object after a dangling key");
+    const bool had = has_entries_.back();
+    scopes_.pop_back();
+    has_entries_.pop_back();
+    if (had)
+        newline_indent();
+    out_ << '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::begin_array()
+{
+    before_value();
+    out_ << '[';
+    scopes_.push_back(Scope::Array);
+    has_entries_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::end_array()
+{
+    LEAKBOUND_ASSERT(!scopes_.empty() && scopes_.back() == Scope::Array,
+                     "end_array with no open array");
+    const bool had = has_entries_.back();
+    scopes_.pop_back();
+    has_entries_.pop_back();
+    if (had)
+        newline_indent();
+    out_ << ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    LEAKBOUND_ASSERT(!scopes_.empty() && scopes_.back() == Scope::Object,
+                     "JSON key outside an object");
+    LEAKBOUND_ASSERT(!pending_key_, "two JSON keys in a row");
+    if (has_entries_.back())
+        out_ << ',';
+    newline_indent();
+    has_entries_.back() = true;
+    out_ << '"' << json_escape(name) << "\": ";
+    pending_key_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    before_value();
+    out_ << '"' << json_escape(v) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    before_value();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    before_value();
+    out_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    before_value();
+    out_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    before_value();
+    out_ << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    before_value();
+    out_ << "null";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::vector<std::string> &v)
+{
+    begin_array();
+    for (const std::string &s : v)
+        value(s);
+    return end_array();
+}
+
+void
+write_text_file(const std::string &path, const std::string &contents)
+{
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        fatal("cannot create file: ", path);
+    if (std::fwrite(contents.data(), 1, contents.size(), file) !=
+        contents.size()) {
+        std::fclose(file);
+        fatal("short write to ", path);
+    }
+    std::fclose(file);
+}
+
+} // namespace leakbound::util

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for machine-readable bench reports.
+ *
+ * The bench binaries emit their tables and timing data as JSON (the
+ * `--json` flag) so perf trajectories can be tracked across commits
+ * without scraping ASCII tables.  The writer produces deterministic,
+ * pretty-printed output: keys appear in emission order and doubles are
+ * printed with enough digits to round-trip.
+ */
+
+#ifndef LEAKBOUND_UTIL_JSON_HPP
+#define LEAKBOUND_UTIL_JSON_HPP
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace leakbound::util {
+
+/** Escape @p s for inclusion inside a JSON string literal (no quotes). */
+std::string json_escape(const std::string &s);
+
+/**
+ * Streaming JSON emitter with explicit structure calls.  Usage:
+ * @code
+ *   JsonWriter w;
+ *   w.begin_object();
+ *   w.key("jobs").value(8u);
+ *   w.key("tables").begin_array();
+ *   ...
+ *   w.end_array();
+ *   w.end_object();
+ *   write_file(path, w.str());
+ * @endcode
+ *
+ * Structural misuse (e.g. end_array() with no open array) panics: the
+ * report writers are static code paths, so a mismatch is a bug.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter();
+
+    JsonWriter &begin_object();
+    JsonWriter &end_object();
+    JsonWriter &begin_array();
+    JsonWriter &end_array();
+
+    /** Emit an object key; the next call must emit its value. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(bool v);
+    JsonWriter &null();
+
+    /** Convenience: an array of strings in one call. */
+    JsonWriter &value(const std::vector<std::string> &v);
+
+    /** The document so far (call after the root closes). */
+    std::string str() const { return out_.str(); }
+
+  private:
+    enum class Scope : std::uint8_t { Object, Array };
+
+    void before_value();
+    void newline_indent();
+
+    std::ostringstream out_;
+    std::vector<Scope> scopes_;
+    /** Whether the current scope already holds at least one entry. */
+    std::vector<bool> has_entries_;
+    bool pending_key_ = false;
+};
+
+/**
+ * Write @p contents to @p path atomically enough for reports (truncate
+ * + write + close); fatal() if the file cannot be created.
+ */
+void write_text_file(const std::string &path, const std::string &contents);
+
+} // namespace leakbound::util
+
+#endif // LEAKBOUND_UTIL_JSON_HPP

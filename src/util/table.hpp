@@ -48,6 +48,21 @@ class Table
     /** Number of data rows added so far. */
     std::size_t num_rows() const { return rows_.size(); }
 
+    /** The caption passed at construction. */
+    const std::string &title() const { return title_; }
+
+    /** The header row. */
+    const std::vector<std::string> &header() const { return header_; }
+
+    /**
+     * All rows in insertion order; separators appear as empty vectors
+     * (the JSON reporter skips them, the renderer draws rules).
+     */
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+
   private:
     std::string title_;
     std::vector<std::string> header_;

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Implementation of the fixed-size worker pool.
+ */
+
+#include "util/thread_pool.hpp"
+
+namespace leakbound::util {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned n = effective_jobs(threads);
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::worker_loop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping_ and nothing left to drain
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task(); // exceptions land in the packaged_task's future
+    }
+}
+
+unsigned
+ThreadPool::effective_jobs(unsigned requested)
+{
+    return requested == 0 ? default_jobs() : requested;
+}
+
+unsigned
+ThreadPool::default_jobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+} // namespace leakbound::util

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Fixed-size worker thread pool with exception-propagating futures.
+ *
+ * The suite runner (core::run_suite) fans independent benchmark
+ * simulations out over this pool and re-collects them in submission
+ * order, which keeps parallel output bit-identical to the serial path.
+ * Tasks may be move-only callables; an exception thrown inside a task
+ * is captured in its future and rethrown at get(), never lost in a
+ * worker.
+ */
+
+#ifndef LEAKBOUND_UTIL_THREAD_POOL_HPP
+#define LEAKBOUND_UTIL_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace leakbound::util {
+
+/**
+ * Fixed pool of worker threads draining a FIFO task queue.  Usage:
+ * @code
+ *   ThreadPool pool(4);
+ *   auto f = pool.submit([] { return simulate(); });
+ *   auto result = f.get(); // rethrows anything simulate() threw
+ * @endcode
+ *
+ * The destructor drains the queue (all submitted tasks run) and joins
+ * every worker; submit() after destruction begins is undefined.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * Spawn @p threads workers; 0 selects default_jobs().  A pool of
+     * size 1 is a valid (if pointless) serial executor.
+     */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Runs all queued tasks to completion, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+    /**
+     * Enqueue @p fn and return a future for its result.  @p fn may be
+     * move-only; exceptions it throws surface at future::get().
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> future = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.emplace_back([task] { (*task)(); });
+        }
+        cv_.notify_one();
+        return future;
+    }
+
+    /**
+     * Resolve a jobs request: 0 means hardware_concurrency (itself
+     * clamped to at least 1); nonzero passes through.
+     */
+    static unsigned effective_jobs(unsigned requested);
+
+    /** hardware_concurrency clamped to at least 1. */
+    static unsigned default_jobs();
+
+  private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+} // namespace leakbound::util
+
+#endif // LEAKBOUND_UTIL_THREAD_POOL_HPP

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Tests of the parallel suite runner: util::ThreadPool semantics
+ * (ordering, exception propagation, move-only tasks, queue draining)
+ * and the serial/parallel equivalence contract of core::run_suite —
+ * jobs=1 and jobs=4 must produce identical histograms, savings, and
+ * prefetchability annotations for the full suite.
+ *
+ * This file carries the `sanitize` CTest label: configure with
+ * -DLEAKBOUND_SANITIZE=thread and run `ctest -L sanitize` to check the
+ * runner under ThreadSanitizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/policies.hpp"
+#include "core/savings.hpp"
+#include "prefetch/prefetchability.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/spec_suite.hpp"
+
+using namespace leakbound;
+using namespace leakbound::core;
+using leakbound::util::ThreadPool;
+
+TEST(ThreadPool, RunsEveryTaskAndPreservesFutureOrder)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 100; ++i)
+        futures.push_back(pool.submit([i] { return i * i; }));
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, ZeroSelectsHardwareConcurrency)
+{
+    ThreadPool pool(0);
+    EXPECT_GE(pool.size(), 1u);
+    EXPECT_EQ(pool.size(), ThreadPool::default_jobs());
+    EXPECT_EQ(ThreadPool::effective_jobs(0), ThreadPool::default_jobs());
+    EXPECT_EQ(ThreadPool::effective_jobs(7), 7u);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures)
+{
+    ThreadPool pool(2);
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("worker failure"); });
+    auto good = pool.submit([] { return 42; });
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    EXPECT_EQ(good.get(), 42); // one failure doesn't poison the pool
+}
+
+TEST(ThreadPool, AcceptsMoveOnlyTasks)
+{
+    ThreadPool pool(2);
+    auto payload = std::make_unique<int>(7);
+    auto future = pool.submit(
+        [p = std::move(payload)]() mutable { return *p + 1; });
+    EXPECT_EQ(future.get(), 8);
+}
+
+TEST(ThreadPool, DestructorDrainsTheQueue)
+{
+    std::atomic<int> completed{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 32; ++i) {
+            pool.submit([&completed] {
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                ++completed;
+            });
+        }
+    } // ~ThreadPool must run everything before joining
+    EXPECT_EQ(completed.load(), 32);
+}
+
+namespace {
+
+ExperimentConfig
+suite_config(unsigned jobs)
+{
+    ExperimentConfig config;
+    config.instructions = 60'000;
+    config.extra_edges = standard_extra_edges();
+    config.jobs = jobs;
+    return config;
+}
+
+const EnergyModel &
+model70()
+{
+    static const EnergyModel m(power::node_params(power::TechNode::Nm70));
+    return m;
+}
+
+/** Flatten a histogram set into a comparable cell list. */
+std::vector<std::tuple<int, int, bool, Cycles, Cycles, std::uint64_t,
+                       std::uint64_t>>
+cells(const interval::IntervalHistogramSet &set)
+{
+    std::vector<std::tuple<int, int, bool, Cycles, Cycles, std::uint64_t,
+                           std::uint64_t>>
+        out;
+    set.for_each_cell([&](const interval::CellRef &cell) {
+        out.emplace_back(static_cast<int>(cell.kind),
+                         static_cast<int>(cell.pf), cell.ends_in_reuse,
+                         cell.lower, cell.upper, cell.count, cell.sum);
+    });
+    return out;
+}
+
+/** Assert two observations are bit-identical. */
+void
+expect_identical(const CacheObservation &a, const CacheObservation &b,
+                 const std::string &what)
+{
+    EXPECT_EQ(a.intervals.num_frames(), b.intervals.num_frames()) << what;
+    EXPECT_EQ(a.intervals.total_cycles(), b.intervals.total_cycles())
+        << what;
+    EXPECT_EQ(a.intervals.edges(), b.intervals.edges()) << what;
+    EXPECT_EQ(cells(a.intervals), cells(b.intervals)) << what;
+    EXPECT_EQ(a.stats.accesses, b.stats.accesses) << what;
+    EXPECT_EQ(a.stats.misses, b.stats.misses) << what;
+}
+
+} // namespace
+
+TEST(ParallelSuite, SerialAndParallelRunsAreIdentical)
+{
+    const auto &names = workload::suite_names();
+    const auto serial = run_suite(names, suite_config(1));
+    const auto parallel = run_suite(names, suite_config(4));
+
+    ASSERT_EQ(serial.size(), names.size());
+    ASSERT_EQ(parallel.size(), names.size());
+
+    const auto points = compute_inflection(model70());
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const auto &s = serial[i];
+        const auto &p = parallel[i];
+        // Deterministic merge: results come back in suite order.
+        EXPECT_EQ(s.workload, names[i]);
+        EXPECT_EQ(p.workload, names[i]);
+        EXPECT_EQ(s.core.instructions, p.core.instructions);
+        EXPECT_EQ(s.core.cycles, p.core.cycles);
+
+        // Histograms are cell-for-cell identical.
+        expect_identical(s.icache, p.icache, names[i] + " icache");
+        expect_identical(s.dcache, p.dcache, names[i] + " dcache");
+
+        // Savings are bit-identical for every stock scheme (identical
+        // histograms + deterministic evaluation order).
+        for (const auto &policy :
+             {make_opt_hybrid(model70()), make_opt_drowsy(model70()),
+              make_opt_sleep(model70(), 10'000),
+              make_decay_sleep(model70(), 10'000),
+              make_prefetch(model70(), PrefetchVariant::B,
+                            {interval::PrefetchClass::NextLine,
+                             interval::PrefetchClass::Stride})}) {
+            const SavingsResult rs =
+                evaluate_policy(*policy, s.dcache.intervals);
+            const SavingsResult rp =
+                evaluate_policy(*policy, p.dcache.intervals);
+            EXPECT_EQ(rs.total, rp.total) << policy->name();
+            EXPECT_EQ(rs.savings, rp.savings) << policy->name();
+            EXPECT_EQ(rs.induced_misses, rp.induced_misses)
+                << policy->name();
+        }
+
+        // Prefetchability annotations survive the parallel path.
+        for (const auto *side : {"icache", "dcache"}) {
+            const auto &si = side == std::string("icache")
+                                 ? s.icache.intervals
+                                 : s.dcache.intervals;
+            const auto &pi = side == std::string("icache")
+                                 ? p.icache.intervals
+                                 : p.dcache.intervals;
+            const auto rs = prefetch::analyze_prefetchability(si, points);
+            const auto rp = prefetch::analyze_prefetchability(pi, points);
+            EXPECT_EQ(rs.next_line_fraction, rp.next_line_fraction)
+                << names[i] << ' ' << side;
+            EXPECT_EQ(rs.stride_fraction, rp.stride_fraction)
+                << names[i] << ' ' << side;
+            EXPECT_EQ(rs.total_fraction, rp.total_fraction)
+                << names[i] << ' ' << side;
+        }
+    }
+}
+
+TEST(ParallelSuite, OversubscribedPoolStillMatchesSerial)
+{
+    // More workers than benchmarks (and than cores): the pool clamps to
+    // the benchmark count and results stay identical.
+    const std::vector<std::string> names = {"gzip", "ammp"};
+    auto config = suite_config(1);
+    config.instructions = 30'000;
+    const auto serial = run_suite(names, config);
+    config.jobs = 16;
+    const auto parallel = run_suite(names, config);
+
+    ASSERT_EQ(parallel.size(), 2u);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        EXPECT_EQ(parallel[i].workload, names[i]);
+        EXPECT_EQ(cells(serial[i].dcache.intervals),
+                  cells(parallel[i].dcache.intervals));
+        EXPECT_EQ(cells(serial[i].icache.intervals),
+                  cells(parallel[i].icache.intervals));
+    }
+}
+
+TEST(ParallelSuite, JobsZeroUsesHardwareConcurrencyAndStaysCorrect)
+{
+    const std::vector<std::string> names = {"gzip"};
+    auto config = suite_config(0);
+    config.instructions = 20'000;
+    const auto runs = run_suite(names, config);
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0].workload, "gzip");
+    EXPECT_GT(runs[0].core.cycles, 0u);
+    EXPECT_GT(runs[0].wall_seconds, 0.0);
+}

@@ -92,3 +92,99 @@ TEST(TraceIo, UnwritablePathIsFatal)
     EXPECT_EXIT(TraceWriter("/nonexistent/dir/trace.bin"),
                 ::testing::ExitedWithCode(1), "cannot create");
 }
+
+namespace {
+
+/**
+ * Draw one fuzzed record: mostly uniform-random fields, with the edge
+ * values the on-disk format must not mangle (0, the maximum cycle,
+ * kInvalidAddr) oversampled.
+ */
+TimedAccess
+fuzz_record(util::Rng &rng)
+{
+    auto fuzz_u64 = [&rng]() -> std::uint64_t {
+        switch (rng.next_below(8)) {
+          case 0: return 0;
+          case 1: return ~static_cast<std::uint64_t>(0); // max / invalid
+          case 2: return 1;
+          default: return rng.next_u64();
+        }
+    };
+    TimedAccess rec;
+    rec.cycle = fuzz_u64();
+    rec.pc = fuzz_u64();
+    rec.addr = fuzz_u64();
+    rec.kind = static_cast<InstrKind>(rng.next_below(3));
+    return rec;
+}
+
+} // namespace
+
+TEST(TraceIo, FuzzedStreamsRoundTripExactly)
+{
+    // Seeded fuzz over many independent streams: every record —
+    // including edge values and runs of duplicates — must survive
+    // write -> read -> compare bit-exactly.
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        const std::string path = temp_path("lb_trace_fuzz.bin");
+        util::Rng rng(seed * 0x9e37'79b9);
+        std::vector<TimedAccess> expected;
+        const std::size_t n = 200 + rng.next_below(1800);
+        {
+            TraceWriter w(path);
+            for (std::size_t i = 0; i < n; ++i) {
+                TimedAccess rec;
+                if (!expected.empty() && rng.next_bool(0.15))
+                    rec = expected.back(); // duplicate frames/records
+                else
+                    rec = fuzz_record(rng);
+                w.write(rec);
+                expected.push_back(rec);
+            }
+            EXPECT_EQ(w.count(), n);
+        }
+
+        TraceReader r(path);
+        TimedAccess rec;
+        for (std::size_t i = 0; i < expected.size(); ++i) {
+            ASSERT_TRUE(r.next(rec)) << "seed " << seed << " record " << i;
+            EXPECT_EQ(rec.cycle, expected[i].cycle) << "seed " << seed;
+            EXPECT_EQ(rec.pc, expected[i].pc) << "seed " << seed;
+            EXPECT_EQ(rec.addr, expected[i].addr) << "seed " << seed;
+            EXPECT_EQ(rec.kind, expected[i].kind) << "seed " << seed;
+        }
+        EXPECT_FALSE(r.next(rec));
+        EXPECT_EQ(r.count(), n);
+        std::remove(path.c_str());
+    }
+}
+
+TEST(TraceIo, ExtremeValuesRoundTrip)
+{
+    const std::string path = temp_path("lb_trace_extreme.bin");
+    const std::uint64_t max64 = ~static_cast<std::uint64_t>(0);
+    const std::vector<TimedAccess> expected = {
+        {0, 0, 0, InstrKind::Op},
+        {max64, max64, max64, InstrKind::Store},  // max cycle
+        {max64, max64, max64, InstrKind::Store},  // exact duplicate
+        {0, 0, kInvalidAddr, InstrKind::Load},    // sentinel address
+        {1, max64 - 1, 1, InstrKind::Load},
+    };
+    {
+        TraceWriter w(path);
+        for (const TimedAccess &rec : expected)
+            w.write(rec);
+    }
+    TraceReader r(path);
+    TimedAccess rec;
+    for (const TimedAccess &want : expected) {
+        ASSERT_TRUE(r.next(rec));
+        EXPECT_EQ(rec.cycle, want.cycle);
+        EXPECT_EQ(rec.pc, want.pc);
+        EXPECT_EQ(rec.addr, want.addr);
+        EXPECT_EQ(rec.kind, want.kind);
+    }
+    EXPECT_FALSE(r.next(rec));
+    std::remove(path.c_str());
+}

@@ -17,6 +17,7 @@
 #include "util/string_utils.hpp"
 #include "util/table.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 
 namespace lb = leakbound;
 using namespace lb::util;
@@ -341,4 +342,93 @@ TEST(Cli, BadNumberIsFatal)
     cli.parse(2, const_cast<char **>(argv));
     EXPECT_EXIT((void)cli.get_u64("n"), ::testing::ExitedWithCode(1),
                 "unsigned integer");
+}
+
+TEST(Cli, SnapshotReportsCurrentValues)
+{
+    Cli cli("prog", "test");
+    cli.add_flag("jobs", "workers", "0");
+    cli.add_flag("alpha", "first", "a");
+    const char *argv[] = {"prog", "--jobs=4"};
+    cli.parse(2, const_cast<char **>(argv));
+
+    const auto snap = cli.snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    // Sorted by name (std::map order).
+    EXPECT_EQ(snap[0].first, "alpha");
+    EXPECT_EQ(snap[0].second, "a");
+    EXPECT_EQ(snap[1].first, "jobs");
+    EXPECT_EQ(snap[1].second, "4");
+}
+
+// ----------------------------------------------------------------- json
+
+TEST(JsonWriter, BuildsNestedDocuments)
+{
+    JsonWriter w;
+    w.begin_object();
+    w.key("name").value("suite");
+    w.key("jobs").value(std::uint64_t{8});
+    w.key("ok").value(true);
+    w.key("ratio").value(0.5);
+    w.key("rows").begin_array();
+    w.value(std::vector<std::string>{"a", "b"});
+    w.begin_object().key("n").null().end_object();
+    w.end_array();
+    w.end_object();
+
+    EXPECT_EQ(w.str(),
+              "{\n"
+              "  \"name\": \"suite\",\n"
+              "  \"jobs\": 8,\n"
+              "  \"ok\": true,\n"
+              "  \"ratio\": 0.5,\n"
+              "  \"rows\": [\n"
+              "    [\n"
+              "      \"a\",\n"
+              "      \"b\"\n"
+              "    ],\n"
+              "    {\n"
+              "      \"n\": null\n"
+              "    }\n"
+              "  ]\n"
+              "}");
+}
+
+TEST(JsonWriter, EscapesStrings)
+{
+    EXPECT_EQ(json_escape("plain"), "plain");
+    EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+    EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+    EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+
+    JsonWriter w;
+    w.begin_object();
+    w.key("ke\"y").value("va\nl");
+    w.end_object();
+    EXPECT_EQ(w.str(), "{\n  \"ke\\\"y\": \"va\\nl\"\n}");
+}
+
+TEST(JsonWriter, EmptyContainersStayCompact)
+{
+    JsonWriter w;
+    w.begin_object();
+    w.key("empty_list").begin_array().end_array();
+    w.key("empty_obj").begin_object().end_object();
+    w.end_object();
+    EXPECT_EQ(w.str(),
+              "{\n  \"empty_list\": [],\n  \"empty_obj\": {}\n}");
+}
+
+TEST(JsonWriter, WriteTextFileRoundTrips)
+{
+    const std::string path =
+        ::testing::TempDir() + "lb_json_report.json";
+    write_text_file(path, "{\"k\": 1}\n");
+    std::ifstream in(path);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    EXPECT_EQ(contents, "{\"k\": 1}\n");
+    std::remove(path.c_str());
 }

@@ -27,27 +27,39 @@ main(int argc, char **argv)
 
     util::Table table("policy zoo at 70nm (suite average)");
     table.set_header({"policy", "oracle?", "I-cache", "D-cache"});
-    auto add = [&](const core::PolicyPtr &p) {
-        table.add_row(
-            {p->name(), p->is_oracle() ? "yes" : "no",
-             pct(suite_average(*p, runs, CacheSide::Instruction).savings),
-             pct(suite_average(*p, runs, CacheSide::Data).savings)});
-    };
 
-    add(core::make_always_active(model));
+    std::vector<core::PolicyPtr> zoo;
+    zoo.push_back(core::make_always_active(model));
     // Periodic drowsy at the windows Flautner et al. explored.
-    add(core::make_periodic_drowsy(model, 2000));
-    add(core::make_periodic_drowsy(model, 4000));
-    add(core::make_periodic_drowsy(model, 32000));
+    zoo.push_back(core::make_periodic_drowsy(model, 2000));
+    zoo.push_back(core::make_periodic_drowsy(model, 4000));
+    zoo.push_back(core::make_periodic_drowsy(model, 32000));
     // Cache decay at its usual settings.
-    add(core::make_decay_sleep(model, 8000));
-    add(core::make_decay_sleep(model, 10'000));
-    add(core::make_decay_sleep(model, 64'000));
-    table.add_separator();
+    zoo.push_back(core::make_decay_sleep(model, 8000));
+    zoo.push_back(core::make_decay_sleep(model, 10'000));
+    zoo.push_back(core::make_decay_sleep(model, 64'000));
+    const std::size_t zoo_count = zoo.size();
     // The oracle ladder.
-    add(core::make_opt_drowsy(model));
-    add(core::make_opt_sleep(model, 1057));
-    add(core::make_opt_hybrid(model));
+    zoo.push_back(core::make_opt_drowsy(model));
+    zoo.push_back(core::make_opt_sleep(model, 1057));
+    zoo.push_back(core::make_opt_hybrid(model));
+
+    // One pooled pass per cache over the whole zoo.
+    std::vector<const core::Policy *> policies;
+    for (const auto &p : zoo)
+        policies.push_back(p.get());
+    const GridEvaluation igrid =
+        evaluate_grid(policies, runs, CacheSide::Instruction, cli);
+    const GridEvaluation dgrid =
+        evaluate_grid(policies, runs, CacheSide::Data, cli);
+
+    for (std::size_t p = 0; p < zoo.size(); ++p) {
+        if (p == zoo_count)
+            table.add_separator();
+        table.add_row({zoo[p]->name(), zoo[p]->is_oracle() ? "yes" : "no",
+                       pct(igrid.averages[p].savings),
+                       pct(dgrid.averages[p].savings)});
+    }
     emit(table, cli, "policy_zoo");
 
     std::printf(

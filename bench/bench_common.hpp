@@ -287,6 +287,56 @@ suite_average(const core::Policy &policy,
     return core::combine_results(per_run);
 }
 
+/** Population pointers of @p side across @p runs, in suite order. */
+inline std::vector<const interval::IntervalHistogramSet *>
+populations(const std::vector<core::ExperimentResult> &runs, CacheSide side)
+{
+    std::vector<const interval::IntervalHistogramSet *> sets;
+    sets.reserve(runs.size());
+    for (const auto &run : runs)
+        sets.push_back(&population(run, side));
+    return sets;
+}
+
+/**
+ * A (policy x benchmark) grid evaluated in one pooled pass: per-cell
+ * results plus the energy-pooled suite average of every policy row.
+ * Values are bit-identical to per-cell evaluate()/suite_average()
+ * calls (deterministic merge; see core::evaluate_policy_grid).
+ */
+struct GridEvaluation
+{
+    std::vector<std::vector<core::SavingsResult>> cells; ///< [policy][run]
+    std::vector<core::SavingsResult> averages;           ///< [policy]
+};
+
+/**
+ * Evaluate @p policies against every run of @p side on the --jobs
+ * thread pool.  This is the sweep binaries' inner loop: one pooled
+ * pass replaces the serial policy-by-policy, run-by-run nesting.
+ */
+inline GridEvaluation
+evaluate_grid(const std::vector<const core::Policy *> &policies,
+              const std::vector<core::ExperimentResult> &runs,
+              CacheSide side, const util::Cli &cli)
+{
+    const auto flat = core::evaluate_policy_grid(
+        policies, populations(runs, side), suite_jobs(cli));
+
+    GridEvaluation grid;
+    grid.cells.reserve(policies.size());
+    grid.averages.reserve(policies.size());
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+        std::vector<core::SavingsResult> row(
+            flat.begin() + static_cast<std::ptrdiff_t>(p * runs.size()),
+            flat.begin() +
+                static_cast<std::ptrdiff_t>((p + 1) * runs.size()));
+        grid.averages.push_back(core::combine_results(row));
+        grid.cells.push_back(std::move(row));
+    }
+    return grid;
+}
+
 /** "96.4%"-style cell for a savings fraction. */
 inline std::string
 pct(double fraction)

@@ -10,6 +10,8 @@
  * gap is smaller in the data cache than in the instruction cache.
  */
 
+#include <iterator>
+
 #include "bench_common.hpp"
 
 int
@@ -29,6 +31,17 @@ main(int argc, char **argv)
     const Cycles sweep[] = {1057, 1200, 1500, 2000, 3000, 4000, 5000,
                             6000, 7000, 8000, 9000, 10000};
 
+    // The whole threshold sweep is one policy grid: rows alternate
+    // sleep-only / hybrid per threshold, evaluated in one pooled pass.
+    std::vector<core::PolicyPtr> sweep_policies;
+    for (Cycles threshold : sweep) {
+        sweep_policies.push_back(core::make_opt_sleep(model, threshold));
+        sweep_policies.push_back(core::make_hybrid(model, threshold));
+    }
+    std::vector<const core::Policy *> policies;
+    for (const auto &p : sweep_policies)
+        policies.push_back(p.get());
+
     for (CacheSide side : {CacheSide::Instruction, CacheSide::Data}) {
         const char *label = side == CacheSide::Instruction
                                 ? "(a) Instruction Cache"
@@ -37,13 +50,13 @@ main(int argc, char **argv)
                           ": savings vs minimum sleep interval, 70nm");
         table.set_header(
             {"interval (cycles)", "Sleep", "Sleep+Drowsy", "gap"});
-        for (Cycles threshold : sweep) {
-            const auto sleep_only = suite_average(
-                *core::make_opt_sleep(model, threshold), runs, side);
-            const auto hybrid = suite_average(
-                *core::make_hybrid(model, threshold), runs, side);
+        const GridEvaluation grid =
+            evaluate_grid(policies, runs, side, cli);
+        for (std::size_t t = 0; t < std::size(sweep); ++t) {
+            const auto &sleep_only = grid.averages[2 * t];
+            const auto &hybrid = grid.averages[2 * t + 1];
             table.add_row(
-                {util::format_commas(threshold), pct(sleep_only.savings),
+                {util::format_commas(sweep[t]), pct(sleep_only.savings),
                  pct(hybrid.savings),
                  util::format_percent(hybrid.savings -
                                       sleep_only.savings)});

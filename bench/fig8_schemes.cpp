@@ -69,20 +69,23 @@ main(int argc, char **argv)
             header.push_back(s.column);
         table.set_header(header);
 
-        for (const auto &run : runs) {
-            std::vector<std::string> row = {run.workload};
-            for (const Scheme &s : schemes) {
-                const auto &policy = icache ? *s.icache : *s.dcache;
-                row.push_back(pct(evaluate(policy, run, side).savings));
-            }
+        // One pooled pass over the whole scheme x benchmark grid.
+        std::vector<const core::Policy *> policies;
+        for (const Scheme &s : schemes)
+            policies.push_back(icache ? s.icache.get() : s.dcache.get());
+        const GridEvaluation grid =
+            evaluate_grid(policies, runs, side, cli);
+
+        for (std::size_t r = 0; r < runs.size(); ++r) {
+            std::vector<std::string> row = {runs[r].workload};
+            for (std::size_t s = 0; s < schemes.size(); ++s)
+                row.push_back(pct(grid.cells[s][r].savings));
             table.add_row(row);
         }
         table.add_separator();
         std::vector<std::string> avg = {"average"};
-        for (const Scheme &s : schemes) {
-            const auto &policy = icache ? *s.icache : *s.dcache;
-            avg.push_back(pct(suite_average(policy, runs, side).savings));
-        }
+        for (std::size_t s = 0; s < schemes.size(); ++s)
+            avg.push_back(pct(grid.averages[s].savings));
         table.add_row(avg);
         emit(table, cli, icache ? "fig8a_icache" : "fig8b_dcache");
         std::printf("paper averages (%s): OPT-Drowsy %s, Sleep(10K) %s, "

@@ -15,6 +15,7 @@
 #include "interval/collector.hpp"
 #include "prefetch/stride.hpp"
 #include "sim/cache.hpp"
+#include "util/edge_index.hpp"
 #include "util/flat_map.hpp"
 #include "util/random.hpp"
 #include "workload/spec_suite.hpp"
@@ -69,6 +70,35 @@ BM_HistogramAdd(benchmark::State &state)
 BENCHMARK(BM_HistogramAdd);
 
 void
+BM_EdgeIndexBin(benchmark::State &state)
+{
+    // The O(1) dense + log2-jump-table lookup behind Histogram::add.
+    const util::EdgeIndex index(
+        interval::IntervalHistogramSet::default_edges());
+    util::Rng rng(3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(index.bin_index(rng.next_below(1 << 20)));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EdgeIndexBin);
+
+void
+BM_EdgeIndexBinReference(benchmark::State &state)
+{
+    // The std::upper_bound reference path EdgeIndex replaced; kept
+    // benched so the speedup stays visible in BENCH_micro.json.
+    const util::EdgeIndex index(
+        interval::IntervalHistogramSet::default_edges());
+    util::Rng rng(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            index.bin_index_reference(rng.next_below(1 << 20)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EdgeIndexBinReference);
+
+void
 BM_FlatMapPutGet(benchmark::State &state)
 {
     util::FlatMap map(1 << 16);
@@ -120,6 +150,54 @@ BM_PolicyEvaluation(benchmark::State &state)
     }
 }
 BENCHMARK(BM_PolicyEvaluation);
+
+void
+BM_PolicyGrid(benchmark::State &state)
+{
+    // The sweep binaries' inner loop: a policy x population grid
+    // evaluated on the pool (state.range(0) = jobs; 1 = serial).
+    const core::EnergyModel model(
+        power::node_params(power::TechNode::Nm70));
+    std::vector<core::PolicyPtr> owned;
+    owned.push_back(core::make_opt_drowsy(model));
+    owned.push_back(core::make_opt_sleep(model, 10'000));
+    owned.push_back(core::make_decay_sleep(model, 10'000));
+    owned.push_back(core::make_opt_hybrid(model));
+    std::vector<Cycles> thresholds;
+    std::vector<const core::Policy *> policies;
+    for (const auto &p : owned) {
+        for (Cycles t : p->thresholds())
+            thresholds.push_back(t);
+        policies.push_back(p.get());
+    }
+
+    std::vector<interval::IntervalHistogramSet> sets;
+    util::Rng rng(7);
+    for (int s = 0; s < 6; ++s) {
+        sets.push_back(
+            interval::IntervalHistogramSet::with_default_edges(thresholds));
+        for (int i = 0; i < 50'000; ++i) {
+            interval::Interval iv;
+            iv.length = rng.next_below(1 << 21);
+            iv.ends_in_reuse = rng.next_bool(0.7);
+            sets.back().add(iv);
+        }
+        sets.back().set_run_info(1024, 4'000'000);
+    }
+    std::vector<const interval::IntervalHistogramSet *> set_ptrs;
+    for (const auto &set : sets)
+        set_ptrs.push_back(&set);
+
+    const unsigned jobs = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::evaluate_policy_grid(policies, set_ptrs, jobs));
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(policies.size() * sets.size()));
+}
+BENCHMARK(BM_PolicyGrid)->Arg(1)->Arg(4);
 
 void
 BM_EndToEndPipeline(benchmark::State &state)

@@ -37,6 +37,8 @@ main(int argc, char **argv)
         {"66.7", "61.5", "67.1", "66.7", "63.2", "67.3"}, // 180nm
     };
 
+    const auto &nodes = power::all_nodes();
+
     for (CacheSide side : {CacheSide::Instruction, CacheSide::Data}) {
         const bool icache = side == CacheSide::Instruction;
         util::Table table(icache ? "Table 2 (I-Cache): optimal savings "
@@ -46,6 +48,19 @@ main(int argc, char **argv)
         table.set_header({"technology", "Vdd (V)", "Vth (V)",
                           "OPT-Drowsy", "OPT-Sleep", "OPT-Hybrid",
                           "paper (D/S/H)"});
+
+        // Evaluate the whole (node x benchmark) generalized-model grid
+        // on the --jobs pool; results come back row-major in node
+        // order, so the merge below matches the serial nesting.
+        const auto grid = util::parallel_map_ordered(
+            nodes.size() * runs.size(), suite_jobs(cli),
+            [&](std::size_t i) {
+                core::GeneralizedModelInputs inputs;
+                inputs.tech = power::node_params(nodes[i / runs.size()]);
+                return core::run_generalized_model(
+                    inputs, population(runs[i % runs.size()], side));
+            });
+
         std::size_t row_idx = 0;
         for (power::TechNode node : power::all_nodes()) {
             core::GeneralizedModelInputs inputs;
@@ -53,12 +68,11 @@ main(int argc, char **argv)
 
             // Pool the generalized model's three bounds over the suite.
             std::vector<core::SavingsResult> drowsy, sleep, hybrid;
-            for (const auto &run : runs) {
-                const auto r = core::run_generalized_model(
-                    inputs, population(run, side));
-                drowsy.push_back(r.opt_drowsy);
-                sleep.push_back(r.opt_sleep);
-                hybrid.push_back(r.opt_hybrid);
+            for (std::size_t r = 0; r < runs.size(); ++r) {
+                const auto &result = grid[row_idx * runs.size() + r];
+                drowsy.push_back(result.opt_drowsy);
+                sleep.push_back(result.opt_sleep);
+                hybrid.push_back(result.opt_hybrid);
             }
             const PaperRow &p = paper[row_idx++];
             table.add_row(

@@ -35,9 +35,10 @@ class CollectingListener final : public cpu::AccessListener
                        interval::IntervalCollector *dcollector,
                        prefetch::StridePredictor *stride,
                        Cycles nl_lead_time)
-        : iline_(config.l1i.line_bytes), dline_(config.l1d.line_bytes),
-          icollector_(icollector), dcollector_(dcollector),
-          stride_(stride), nl_lead_(nl_lead_time)
+        : iline_shift_(config.l1i.line_shift()),
+          dline_shift_(config.l1d.line_shift()),
+          dline_(config.l1d.line_bytes), icollector_(icollector),
+          dcollector_(dcollector), stride_(stride), nl_lead_(nl_lead_time)
     {
     }
 
@@ -45,7 +46,7 @@ class CollectingListener final : public cpu::AccessListener
     on_instr_access(Cycle cycle, Pc pc,
                     const sim::HierarchyResult &result) override
     {
-        const Addr block = pc / iline_;
+        const Addr block = pc >> iline_shift_;
         bool nl = false;
         Cycle since;
         if (icollector_->open_since(result.l1.frame, since))
@@ -60,7 +61,7 @@ class CollectingListener final : public cpu::AccessListener
     on_data_access(Cycle cycle, Pc pc, Addr addr, bool /*is_store*/,
                    const sim::HierarchyResult &result) override
     {
-        const Addr block = addr / dline_;
+        const Addr block = addr >> dline_shift_;
         const bool stride_hit = stride_->access(pc, addr, dline_);
         bool nl = false;
         Cycle since;
@@ -90,8 +91,9 @@ class CollectingListener final : public cpu::AccessListener
                                 /*nl_covered=*/false);
     }
 
-    std::uint32_t iline_;
-    std::uint32_t dline_;
+    std::uint32_t iline_shift_;
+    std::uint32_t dline_shift_;
+    std::uint32_t dline_; ///< line size the stride predictor keys on
     interval::IntervalCollector *icollector_;
     interval::IntervalCollector *dcollector_;
     interval::IntervalCollector *l2collector_ = nullptr;

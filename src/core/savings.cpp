@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace leakbound::core {
 
@@ -147,6 +148,24 @@ combine_results(const std::vector<SavingsResult> &results)
     }
     out.savings = out.baseline > 0.0 ? 1.0 - out.total / out.baseline : 0.0;
     return out;
+}
+
+std::vector<SavingsResult>
+evaluate_policy_grid(
+    const std::vector<const Policy *> &policies,
+    const std::vector<const interval::IntervalHistogramSet *> &sets,
+    unsigned jobs)
+{
+    for (const Policy *policy : policies)
+        LEAKBOUND_ASSERT(policy != nullptr, "null policy in grid");
+    for (const IntervalHistogramSet *set : sets)
+        LEAKBOUND_ASSERT(set != nullptr, "null population in grid");
+
+    const std::size_t cols = sets.size();
+    return util::parallel_map_ordered(
+        policies.size() * cols, jobs, [&](std::size_t i) {
+            return evaluate_policy(*policies[i / cols], *sets[i % cols]);
+        });
 }
 
 } // namespace leakbound::core

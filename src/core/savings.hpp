@@ -67,6 +67,22 @@ SavingsResult evaluate_policy_raw(const Policy &policy,
  */
 SavingsResult combine_results(const std::vector<SavingsResult> &results);
 
+/**
+ * Evaluate every (policy, population) pair of a grid, fanning the
+ * cells out over a util::ThreadPool of @p jobs workers (resolved via
+ * ThreadPool::effective_jobs; <= 1 runs serially on the caller).
+ *
+ * Returns the grid row-major: cell [p * sets.size() + s] is policy p
+ * evaluated on population s.  Evaluation is a pure function of
+ * (policy, set), and results are merged back in submission order, so
+ * the output is bit-identical to the serial double loop for every
+ * jobs value — the suite runner's determinism contract one level down.
+ */
+std::vector<SavingsResult>
+evaluate_policy_grid(const std::vector<const Policy *> &policies,
+                     const std::vector<const interval::IntervalHistogramSet *> &sets,
+                     unsigned jobs = 1);
+
 } // namespace leakbound::core
 
 #endif // LEAKBOUND_CORE_SAVINGS_HPP

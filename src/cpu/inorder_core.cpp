@@ -52,7 +52,7 @@ InOrderCore::run(std::uint64_t max_instructions)
     CoreRunStats stats;
     const Cycles l1i_hit = hierarchy_->config().l1i.hit_latency;
     const Cycles l1d_hit = hierarchy_->config().l1d.hit_latency;
-    const std::uint32_t line_bytes = hierarchy_->config().l1i.line_bytes;
+    const std::uint32_t line_shift = hierarchy_->config().l1i.line_shift();
 
     while (stats.instructions < max_instructions) {
         trace::MicroOp op;
@@ -63,7 +63,7 @@ InOrderCore::run(std::uint64_t max_instructions)
         // to the fetch width.  A taken branch (PC discontinuity) ends
         // the group, as does a line boundary.
         const Pc group_pc = op.pc;
-        const Addr group_line = group_pc / line_bytes;
+        const Addr group_line = group_pc >> line_shift;
 
         Cycles worst_data_penalty = 0;
         std::uint32_t group_size = 0;
@@ -99,7 +99,7 @@ InOrderCore::run(std::uint64_t max_instructions)
             if (!peek_op(next_op))
                 break;
             if (next_op.pc != expected_pc ||
-                next_op.pc / line_bytes != group_line) {
+                next_op.pc >> line_shift != group_line) {
                 break;
             }
             fetch_op(op);

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "power/technology.hpp"
 #include "util/logging.hpp"
 
 namespace leakbound::interval {
@@ -23,13 +24,14 @@ constexpr std::size_t kNumSlots = kInnerSlots + 3;
 } // namespace
 
 IntervalHistogramSet::IntervalHistogramSet(std::vector<std::uint64_t> edges)
-    : edges_(std::move(edges))
+    : index_(util::EdgeIndex::make(std::move(edges)))
 {
-    LEAKBOUND_ASSERT(!edges_.empty() && edges_.front() == 0,
+    LEAKBOUND_ASSERT(!index_->edges().empty() &&
+                         index_->edges().front() == 0,
                      "interval histogram edges must start at 0");
     hists_.reserve(kNumSlots);
     for (std::size_t i = 0; i < kNumSlots; ++i)
-        hists_.emplace_back(edges_);
+        hists_.emplace_back(index_);
 }
 
 IntervalHistogramSet
@@ -64,7 +66,7 @@ IntervalHistogramSet::add(const Interval &iv)
 void
 IntervalHistogramSet::merge(const IntervalHistogramSet &other)
 {
-    LEAKBOUND_ASSERT(edges_ == other.edges_,
+    LEAKBOUND_ASSERT(index_ == other.index_ || edges() == other.edges(),
                      "merging interval sets with different edges");
     for (std::size_t i = 0; i < hists_.size(); ++i)
         hists_[i].merge(other.hists_[i]);
@@ -204,11 +206,28 @@ IntervalHistogramSet::default_edges(const std::vector<Cycles> &extra)
         1000, 16000, 32000, 64000,
     };
     thresholds.insert(thresholds.end(), extra.begin(), extra.end());
+
+    // Decay-style policies sleep a frame only after the threshold plus
+    // the node's sleep transition overhead has elapsed, so those
+    // boundaries must be exact bin edges too.  Derive the overhead
+    // offsets from the actual technology parameters (historically a
+    // hardcoded 37 = the 70nm s1+s3+s4) so custom timings keep landing
+    // on exact edges at every node.
+    std::vector<std::uint64_t> overheads;
+    for (power::TechNode node : power::all_nodes())
+        overheads.push_back(
+            power::node_params(node).timings.sleep_overhead());
+    std::sort(overheads.begin(), overheads.end());
+    overheads.erase(std::unique(overheads.begin(), overheads.end()),
+                    overheads.end());
+
     for (std::uint64_t t : thresholds) {
         edges.push_back(t);
         edges.push_back(t + 1);
-        edges.push_back(t + 37);      // t + sleep_overhead (30+3+4)
-        edges.push_back(t + 37 + 1);
+        for (std::uint64_t o : overheads) {
+            edges.push_back(t + o);
+            edges.push_back(t + o + 1);
+        }
     }
 
     std::sort(edges.begin(), edges.end());

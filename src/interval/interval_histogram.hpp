@@ -17,6 +17,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "interval/interval.hpp"
@@ -93,12 +94,17 @@ class IntervalHistogramSet
     std::uint64_t inner_count_in(Cycles lo, Cycles hi) const;
 
     /** The edge list in use. */
-    const std::vector<std::uint64_t> &edges() const { return edges_; }
+    const std::vector<std::uint64_t> &edges() const
+    {
+        return index_->edges();
+    }
 
     /**
      * Build the standard edge list: fine-grained 0..64, log2-spaced
      * up to 2^40, the paper's inflection points and sweep thresholds
-     * (plus T+1 and T+timings boundaries), and any @p extra values.
+     * (plus T+1 and T+overhead boundaries, with the transition
+     * overheads taken from every power::TechNode), and any @p extra
+     * values.
      */
     static std::vector<std::uint64_t>
     default_edges(const std::vector<Cycles> &extra_thresholds = {});
@@ -108,7 +114,8 @@ class IntervalHistogramSet
     static std::size_t slot(IntervalKind kind, PrefetchClass pf,
                             bool reuse);
 
-    std::vector<std::uint64_t> edges_;
+    /** One O(1) edge index shared by all nine histograms. */
+    std::shared_ptr<const util::EdgeIndex> index_;
     /**
      * Inner intervals use slots [0, 6) = pf * 2 + reuse; Leading,
      * Trailing, Untouched use slots 6, 7, 8.

@@ -25,8 +25,14 @@ namespace leakbound::prefetch {
 class NextLineMonitor
 {
   public:
-    /** @param expected_blocks sizing hint for the underlying table. */
-    explicit NextLineMonitor(std::size_t expected_blocks = 1 << 18);
+    /**
+     * @param expected_blocks sizing hint for the underlying table.
+     * The table grows automatically, so the default stays small: two
+     * monitors are built per experiment, and pre-filling a
+     * multi-megabyte table dominated short runs (profiled at half the
+     * end-to-end pipeline time before the growth path was trusted).
+     */
+    explicit NextLineMonitor(std::size_t expected_blocks = 1 << 10);
 
     /** Record an access to @p block at @p cycle. */
     void record(Addr block, Cycle cycle);

@@ -13,7 +13,11 @@ Cache::Cache(const CacheConfig &config, std::uint64_t seed)
     : config_(config), seed_(seed)
 {
     config_.validate();
-    frames_.resize(config_.num_frames());
+    ways_ = config_.associativity;
+    line_shift_ = config_.line_shift();
+    set_mask_ = config_.set_mask();
+    tags_.assign(config_.num_frames(), kInvalidAddr);
+    valid_.assign(config_.num_frames(), 0);
     repl_ = make_replacement(config_.replacement, config_.num_sets(),
                              config_.associativity, seed_);
 }
@@ -21,18 +25,23 @@ Cache::Cache(const CacheConfig &config, std::uint64_t seed)
 AccessResult
 Cache::access(Addr addr)
 {
-    const Addr block = config_.block_of(addr);
-    const std::uint64_t set = config_.set_of_block(block);
-    const std::uint32_t ways = config_.associativity;
-    const std::uint64_t base = set * ways;
+    const Addr block = addr >> line_shift_;
+    const std::uint64_t set = block & set_mask_;
+    const std::uint64_t base = set * ways_;
 
     ++stats_.accesses;
 
     AccessResult result;
-    // Hit path: scan the set for the block.
-    for (std::uint32_t w = 0; w < ways; ++w) {
-        const Frame &f = frames_[base + w];
-        if (f.valid && f.block == block) {
+    // One pass over the set: find the resident block and remember the
+    // first invalid way for the miss path.
+    std::uint32_t invalid_way = ways_; // sentinel
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (!valid_[base + w]) {
+            if (invalid_way == ways_)
+                invalid_way = w;
+            continue;
+        }
+        if (tags_[base + w] == block) {
             repl_->on_hit(set, w);
             ++stats_.hits;
             result.hit = true;
@@ -41,26 +50,23 @@ Cache::access(Addr addr)
         }
     }
 
-    // Miss path: prefer an invalid way; otherwise ask the policy.
+    // Miss path: prefer the invalid way found above; otherwise ask the
+    // policy for a victim, which must name a valid resident way.
     ++stats_.misses;
-    std::uint32_t way = ways; // sentinel
-    for (std::uint32_t w = 0; w < ways; ++w) {
-        if (!frames_[base + w].valid) {
-            way = w;
-            break;
-        }
-    }
-    if (way == ways) {
+    std::uint32_t way = invalid_way;
+    if (way == ways_) {
         way = repl_->victim_way(set);
-        LEAKBOUND_ASSERT(way < ways, "replacement returned bad way ", way);
+        LEAKBOUND_ASSERT(way < ways_, "replacement returned bad way ", way);
+        LEAKBOUND_ASSERT(valid_[base + way],
+                         "replacement evicted invalid way ", way,
+                         " of set ", set);
         result.evicted = true;
-        result.victim_block = frames_[base + way].block;
+        result.victim_block = tags_[base + way];
         ++stats_.evictions;
     }
 
-    Frame &f = frames_[base + way];
-    f.valid = true;
-    f.block = block;
+    tags_[base + way] = block;
+    valid_[base + way] = 1;
     repl_->on_fill(set, way);
     result.frame = static_cast<FrameId>(base + way);
     return result;
@@ -69,12 +75,9 @@ Cache::access(Addr addr)
 FrameId
 Cache::frame_of_block(Addr block) const
 {
-    const std::uint64_t set = config_.set_of_block(block);
-    const std::uint32_t ways = config_.associativity;
-    const std::uint64_t base = set * ways;
-    for (std::uint32_t w = 0; w < ways; ++w) {
-        const Frame &f = frames_[base + w];
-        if (f.valid && f.block == block)
+    const std::uint64_t base = (block & set_mask_) * ways_;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (valid_[base + w] && tags_[base + w] == block)
             return static_cast<FrameId>(base + w);
     }
     return kInvalidFrame;
@@ -83,17 +86,15 @@ Cache::frame_of_block(Addr block) const
 Addr
 Cache::block_in_frame(FrameId frame) const
 {
-    LEAKBOUND_ASSERT(frame < frames_.size(), "frame id out of range");
-    return frames_[frame].valid ? frames_[frame].block : kInvalidAddr;
+    LEAKBOUND_ASSERT(frame < tags_.size(), "frame id out of range");
+    return valid_[frame] ? tags_[frame] : kInvalidAddr;
 }
 
 void
 Cache::reset()
 {
-    for (auto &f : frames_) {
-        f.valid = false;
-        f.block = kInvalidAddr;
-    }
+    tags_.assign(tags_.size(), kInvalidAddr);
+    valid_.assign(valid_.size(), 0);
     stats_ = CacheStats{};
     repl_ = make_replacement(config_.replacement, config_.num_sets(),
                              config_.associativity, seed_);

@@ -82,14 +82,17 @@ class Cache
     void reset();
 
   private:
-    struct Frame
-    {
-        Addr block = kInvalidAddr;
-        bool valid = false;
-    };
-
     CacheConfig config_;
-    std::vector<Frame> frames_;
+    // Geometry precomputed once at construction (all geometries are
+    // validated powers of two): block = addr >> line_shift_,
+    // set = block & set_mask_.
+    std::uint32_t ways_ = 1;
+    std::uint32_t line_shift_ = 0;
+    std::uint64_t set_mask_ = 0;
+    // Frame state stored structure-of-arrays: the hit scan touches only
+    // the tag array, laid out contiguously per set.
+    std::vector<Addr> tags_;          ///< resident block number per frame
+    std::vector<std::uint8_t> valid_; ///< validity per frame
     std::unique_ptr<ReplacementPolicy> repl_;
     CacheStats stats_;
     std::uint64_t seed_;

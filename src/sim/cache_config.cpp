@@ -5,6 +5,8 @@
 
 #include "sim/cache_config.hpp"
 
+#include <bit>
+
 #include "util/logging.hpp"
 
 namespace leakbound::sim {
@@ -49,7 +51,20 @@ CacheConfig::num_frames() const
 std::uint64_t
 CacheConfig::set_of_block(Addr block) const
 {
-    return block & (num_sets() - 1);
+    return block & set_mask();
+}
+
+std::uint32_t
+CacheConfig::line_shift() const
+{
+    return static_cast<std::uint32_t>(
+        std::countr_zero(static_cast<std::uint64_t>(line_bytes)));
+}
+
+std::uint64_t
+CacheConfig::set_mask() const
+{
+    return num_sets() - 1;
 }
 
 void

@@ -43,10 +43,24 @@ struct CacheConfig
     std::uint64_t num_frames() const;
 
     /** Block number of a byte address (addr / line_bytes). */
-    Addr block_of(Addr addr) const { return addr / line_bytes; }
+    Addr block_of(Addr addr) const { return addr >> line_shift(); }
 
     /** Set index of a block number. */
     std::uint64_t set_of_block(Addr block) const;
+
+    /**
+     * log2(line_bytes): addr >> line_shift() == addr / line_bytes.
+     * Meaningful only for validated geometries (line_bytes is a power
+     * of two); Cache precomputes it once at construction.
+     */
+    std::uint32_t line_shift() const;
+
+    /**
+     * num_sets() - 1: block & set_mask() == block % num_sets().
+     * Meaningful only for validated geometries (num_sets is a power of
+     * two); Cache precomputes it once at construction.
+     */
+    std::uint64_t set_mask() const;
 
     /** Check invariants (powers of two, divisibility); fatal() on bad
      *  user configuration. */

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Construction of the O(1) histogram edge index.
+ */
+
+#include "util/edge_index.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+namespace leakbound::util {
+
+std::shared_ptr<const EdgeIndex>
+EdgeIndex::make(std::vector<std::uint64_t> edges)
+{
+    // Every experiment derives the same ~190-entry default edge list;
+    // interning makes the table build a once-per-process cost instead
+    // of a per-run one.  Expired entries are pruned during the scan, so
+    // short-lived ad-hoc edge lists (tests, reports) don't accumulate.
+    static std::mutex mutex;
+    static std::vector<std::weak_ptr<const EdgeIndex>> interned;
+
+    std::lock_guard<std::mutex> lock(mutex);
+    for (auto it = interned.begin(); it != interned.end();) {
+        if (auto index = it->lock()) {
+            if (index->edges() == edges)
+                return index;
+            ++it;
+        } else {
+            it = interned.erase(it);
+        }
+    }
+    auto index = std::make_shared<const EdgeIndex>(std::move(edges));
+    interned.push_back(index);
+    return index;
+}
+
+EdgeIndex::EdgeIndex(std::vector<std::uint64_t> edges)
+    : edges_(std::move(edges))
+{
+    LEAKBOUND_ASSERT(!edges_.empty(), "edge index needs at least one edge");
+    LEAKBOUND_ASSERT(std::is_sorted(edges_.begin(), edges_.end()),
+                     "edge index edges must be sorted");
+    LEAKBOUND_ASSERT(
+        std::adjacent_find(edges_.begin(), edges_.end()) == edges_.end(),
+        "edge index edges must be unique");
+
+    constexpr std::size_t dense_size = std::size_t{1} << kDenseBits;
+    dense_.resize(dense_size);
+    for (std::size_t v = 0; v < dense_size; ++v)
+        dense_[v] = static_cast<std::uint32_t>(bin_index_reference(v));
+
+    // One row of sub-slots per log2 bucket kDenseBits..63; slot s of
+    // bucket k starts at 2^k + (s << (k - kSubBits)).
+    constexpr std::size_t buckets = 64 - kDenseBits;
+    constexpr std::size_t slots_per_bucket = std::size_t{1} << kSubBits;
+    slot_bin_.resize(buckets * slots_per_bucket);
+    for (unsigned k = kDenseBits; k < 64; ++k) {
+        for (std::size_t s = 0; s < slots_per_bucket; ++s) {
+            const std::uint64_t start =
+                (std::uint64_t{1} << k) +
+                (static_cast<std::uint64_t>(s) << (k - kSubBits));
+            slot_bin_[(k - kDenseBits) * slots_per_bucket + s] =
+                static_cast<std::uint32_t>(bin_index_reference(start));
+        }
+    }
+}
+
+std::size_t
+EdgeIndex::bin_index_reference(std::uint64_t value) const
+{
+    // upper_bound returns the first edge strictly greater than value;
+    // the containing bin is the one before it.  Below-range values
+    // clamp into bin 0.
+    auto it = std::upper_bound(edges_.begin(), edges_.end(), value);
+    if (it == edges_.begin())
+        return 0;
+    return static_cast<std::size_t>(it - edges_.begin()) - 1;
+}
+
+} // namespace leakbound::util

@@ -13,18 +13,18 @@
 namespace leakbound::util {
 
 Histogram::Histogram(std::vector<std::uint64_t> edges)
-    : edges_(std::move(edges))
+    : Histogram(EdgeIndex::make(std::move(edges)))
 {
-    LEAKBOUND_ASSERT(!edges_.empty(), "histogram needs at least one edge");
-    LEAKBOUND_ASSERT(std::is_sorted(edges_.begin(), edges_.end()),
-                     "histogram edges must be sorted");
-    LEAKBOUND_ASSERT(
-        std::adjacent_find(edges_.begin(), edges_.end()) == edges_.end(),
-        "histogram edges must be unique");
+}
+
+Histogram::Histogram(std::shared_ptr<const EdgeIndex> index)
+    : index_(std::move(index))
+{
+    LEAKBOUND_ASSERT(index_ != nullptr, "histogram needs an edge index");
     // One bin per edge: bin i = [edges[i], edges[i+1]); last bin is
     // the overflow bin [edges.back(), +inf).  Samples below edges[0]
     // are clamped into bin 0 (callers are expected to pass edge 0).
-    bins_.resize(edges_.size());
+    bins_.resize(index_->num_bins());
 }
 
 void
@@ -36,7 +36,7 @@ Histogram::add(std::uint64_t value)
 void
 Histogram::add_many(std::uint64_t value, std::uint64_t n)
 {
-    auto &b = bins_[bin_index(value)];
+    auto &b = bins_[index_->bin_index(value)];
     b.count += n;
     b.sum += value * n;
 }
@@ -44,7 +44,7 @@ Histogram::add_many(std::uint64_t value, std::uint64_t n)
 void
 Histogram::merge(const Histogram &other)
 {
-    LEAKBOUND_ASSERT(edges_ == other.edges_,
+    LEAKBOUND_ASSERT(index_ == other.index_ || edges() == other.edges(),
                      "merging histograms with different edges");
     for (std::size_t i = 0; i < bins_.size(); ++i) {
         bins_[i].count += other.bins_[i].count;
@@ -56,15 +56,15 @@ std::uint64_t
 Histogram::lower_edge(std::size_t i) const
 {
     LEAKBOUND_ASSERT(i < bins_.size(), "bin index out of range");
-    return edges_[i];
+    return edges()[i];
 }
 
 std::uint64_t
 Histogram::upper_edge(std::size_t i) const
 {
     LEAKBOUND_ASSERT(i < bins_.size(), "bin index out of range");
-    return i + 1 < edges_.size() ? edges_[i + 1]
-                                 : ~static_cast<std::uint64_t>(0);
+    return i + 1 < bins_.size() ? edges()[i + 1]
+                                : ~static_cast<std::uint64_t>(0);
 }
 
 const HistBin &
@@ -72,17 +72,6 @@ Histogram::bin(std::size_t i) const
 {
     LEAKBOUND_ASSERT(i < bins_.size(), "bin index out of range");
     return bins_[i];
-}
-
-std::size_t
-Histogram::bin_index(std::uint64_t value) const
-{
-    // upper_bound returns the first edge strictly greater than value;
-    // the containing bin is the one before it.
-    auto it = std::upper_bound(edges_.begin(), edges_.end(), value);
-    if (it == edges_.begin())
-        return 0; // clamp below-range samples into bin 0
-    return static_cast<std::size_t>(it - edges_.begin()) - 1;
 }
 
 std::uint64_t
@@ -111,7 +100,7 @@ Histogram::dump() const
         if (bins_[i].count == 0)
             continue;
         os << '[' << lower_edge(i) << ", ";
-        if (i + 1 < edges_.size())
+        if (i + 1 < bins_.size())
             os << upper_edge(i);
         else
             os << "inf";

@@ -8,14 +8,22 @@
  * the sum of samples, which lets linear functions of the samples be
  * evaluated *exactly* per bin — the key trick exploited by
  * interval::IntervalHistogram (see DESIGN.md §5).
+ *
+ * Binning goes through a shared immutable util::EdgeIndex (O(1) per
+ * sample); histograms built from the same index share it instead of
+ * copying the edge list.
  */
 
 #ifndef LEAKBOUND_UTIL_HISTOGRAM_HPP
 #define LEAKBOUND_UTIL_HISTOGRAM_HPP
 
 #include <cstdint>
+#include <initializer_list>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "util/edge_index.hpp"
 
 namespace leakbound::util {
 
@@ -38,6 +46,18 @@ class Histogram
      * @param edges bin boundaries; must contain at least one element.
      */
     explicit Histogram(std::vector<std::uint64_t> edges);
+
+    /** Braced-list convenience: `Histogram h({0, 10, 100})`. */
+    Histogram(std::initializer_list<std::uint64_t> edges)
+        : Histogram(std::vector<std::uint64_t>(edges))
+    {
+    }
+
+    /**
+     * Construct over a prebuilt shared edge index; histograms over the
+     * same edge list should share one index (see IntervalHistogramSet).
+     */
+    explicit Histogram(std::shared_ptr<const EdgeIndex> index);
 
     /** Add one sample. */
     void add(std::uint64_t value);
@@ -64,7 +84,10 @@ class Histogram
     const HistBin &bin(std::size_t i) const;
 
     /** Index of the bin containing @p value. */
-    std::size_t bin_index(std::uint64_t value) const;
+    std::size_t bin_index(std::uint64_t value) const
+    {
+        return index_->bin_index(value);
+    }
 
     /** Total samples across all bins. */
     std::uint64_t total_count() const;
@@ -73,7 +96,16 @@ class Histogram
     std::uint64_t total_sum() const;
 
     /** The edge list this histogram was built from. */
-    const std::vector<std::uint64_t> &edges() const { return edges_; }
+    const std::vector<std::uint64_t> &edges() const
+    {
+        return index_->edges();
+    }
+
+    /** The shared edge index binning goes through. */
+    const std::shared_ptr<const EdgeIndex> &edge_index() const
+    {
+        return index_;
+    }
 
     /** Render a compact textual summary (one line per non-empty bin). */
     std::string dump() const;
@@ -85,7 +117,7 @@ class Histogram
     static std::vector<std::uint64_t> log2_edges(std::uint64_t max_value);
 
   private:
-    std::vector<std::uint64_t> edges_;
+    std::shared_ptr<const EdgeIndex> index_;
     std::vector<HistBin> bins_;
 };
 

@@ -13,6 +13,7 @@
 #ifndef LEAKBOUND_UTIL_THREAD_POOL_HPP
 #define LEAKBOUND_UTIL_THREAD_POOL_HPP
 
+#include <algorithm>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -93,6 +94,43 @@ class ThreadPool
     std::condition_variable cv_;
     bool stopping_ = false;
 };
+
+/**
+ * Evaluate fn(0), ..., fn(n-1) on a pool of @p jobs workers and return
+ * the results in index order — the deterministic-merge pattern of
+ * core::run_suite as a reusable primitive.  @p jobs is resolved via
+ * ThreadPool::effective_jobs and clamped to n; jobs <= 1 (or n <= 1)
+ * runs the plain serial loop on the calling thread.  @p fn must be
+ * safe to invoke concurrently from multiple threads; exceptions
+ * propagate to the caller exactly as in the serial loop.
+ */
+template <typename F>
+auto
+parallel_map_ordered(std::size_t n, unsigned jobs, F &&fn)
+    -> std::vector<std::invoke_result_t<F &, std::size_t>>
+{
+    using R = std::invoke_result_t<F &, std::size_t>;
+    std::vector<R> results;
+    results.reserve(n);
+
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(ThreadPool::effective_jobs(jobs),
+                              std::max<std::size_t>(n, 1)));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            results.push_back(fn(i));
+        return results;
+    }
+
+    ThreadPool pool(workers);
+    std::vector<std::future<R>> futures;
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        futures.push_back(pool.submit([&fn, i] { return fn(i); }));
+    for (auto &future : futures)
+        results.push_back(future.get()); // rethrows worker exceptions
+    return results;
+}
 
 } // namespace leakbound::util
 

@@ -222,6 +222,84 @@ TEST(ParallelSuite, OversubscribedPoolStillMatchesSerial)
     }
 }
 
+TEST(ParallelMapOrdered, PreservesIndexOrderAndPropagatesExceptions)
+{
+    const auto squares = util::parallel_map_ordered(
+        64, 4, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(squares.size(), 64u);
+    for (std::size_t i = 0; i < squares.size(); ++i)
+        EXPECT_EQ(squares[i], i * i);
+
+    EXPECT_THROW(util::parallel_map_ordered(8, 4,
+                                            [](std::size_t i) -> int {
+                                                if (i == 5)
+                                                    throw std::runtime_error(
+                                                        "worker failure");
+                                                return 0;
+                                            }),
+                 std::runtime_error);
+
+    // Serial path (jobs=1) gives the same answers on the caller.
+    const auto serial = util::parallel_map_ordered(
+        64, 1, [](std::size_t i) { return i * i; });
+    EXPECT_EQ(serial, squares);
+}
+
+TEST(PolicyGrid, PooledEvaluationMatchesSerialBitForBit)
+{
+    // A small suite provides real populations; the pooled policy grid
+    // must reproduce the serial double loop exactly for every jobs
+    // value (this test carries the `sanitize` label: run it under
+    // -DLEAKBOUND_SANITIZE=thread to check the shared read-only sets).
+    const std::vector<std::string> names = {"gzip", "ammp", "mesa"};
+    auto config = suite_config(2);
+    config.instructions = 40'000;
+    const auto runs = run_suite(names, config);
+
+    std::vector<PolicyPtr> owned;
+    owned.push_back(make_opt_drowsy(model70()));
+    owned.push_back(make_opt_sleep(model70(), 10'000));
+    owned.push_back(make_decay_sleep(model70(), 10'000));
+    owned.push_back(make_opt_hybrid(model70()));
+    std::vector<const Policy *> policies;
+    for (const auto &p : owned)
+        policies.push_back(p.get());
+
+    std::vector<const interval::IntervalHistogramSet *> sets;
+    for (const auto &run : runs) {
+        sets.push_back(&run.icache.intervals);
+        sets.push_back(&run.dcache.intervals);
+    }
+
+    const auto serial = evaluate_policy_grid(policies, sets, 1);
+    ASSERT_EQ(serial.size(), policies.size() * sets.size());
+
+    // The grid is row-major over (policy, set) and identical to
+    // evaluating each cell directly.
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+        for (std::size_t s = 0; s < sets.size(); ++s) {
+            const auto direct = evaluate_policy(*policies[p], *sets[s]);
+            const auto &cell = serial[p * sets.size() + s];
+            EXPECT_EQ(cell.policy, direct.policy);
+            EXPECT_EQ(cell.total, direct.total);
+            EXPECT_EQ(cell.savings, direct.savings);
+        }
+    }
+
+    for (unsigned jobs : {2u, 4u, 16u}) {
+        const auto pooled = evaluate_policy_grid(policies, sets, jobs);
+        ASSERT_EQ(pooled.size(), serial.size()) << "jobs=" << jobs;
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(pooled[i].policy, serial[i].policy) << i;
+            EXPECT_EQ(pooled[i].total, serial[i].total) << i;
+            EXPECT_EQ(pooled[i].savings, serial[i].savings) << i;
+            EXPECT_EQ(pooled[i].induced_misses, serial[i].induced_misses)
+                << i;
+            EXPECT_EQ(pooled[i].sleep_cycles, serial[i].sleep_cycles) << i;
+        }
+    }
+}
+
 TEST(ParallelSuite, JobsZeroUsesHardwareConcurrencyAndStaysCorrect)
 {
     const std::vector<std::string> names = {"gzip"};

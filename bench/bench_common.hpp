@@ -18,9 +18,21 @@
  *   --json PATH        also write a machine-readable report — every
  *                      emitted table plus wall-clock and per-benchmark
  *                      timings — to PATH (e.g. BENCH_suite.json).  The
- *                      file is rewritten as results accrue, so a
- *                      partial report is still valid JSON.
+ *                      file is rewritten (atomically: tmp + rename) as
+ *                      results accrue, so a partial report is still
+ *                      valid JSON and never torn.
  *   --csv-dir DIR      mirror each table to DIR/<slug>.csv
+ *   --cache-dir DIR    persist/reuse per-benchmark simulation results
+ *                      (core::ArtifactCache).  Empty falls back to the
+ *                      LEAKBOUND_CACHE_DIR environment variable; unset
+ *                      disables caching.  A warm cache turns suite
+ *                      replay into per-benchmark loads, and loaded
+ *                      results are byte-identical to fresh simulation.
+ *   --suite-passes N   run the suite N times in-process (default 1).
+ *                      With --cache-dir, pass 1 is the cold replay and
+ *                      later passes are warm loads; every pass's wall
+ *                      time lands in the JSON report's "suites" array,
+ *                      so one invocation documents the cold/warm gap.
  */
 
 #ifndef LEAKBOUND_BENCH_BENCH_COMMON_HPP
@@ -31,9 +43,11 @@
 #include <string>
 #include <vector>
 
+#include "core/artifact_cache.hpp"
 #include "core/experiment.hpp"
 #include "core/policies.hpp"
 #include "core/savings.hpp"
+#include "util/binary_io.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
 #include "util/string_utils.hpp"
@@ -64,10 +78,21 @@ struct BenchReport
         std::uint64_t instructions = 0;
         std::uint64_t cycles = 0;
         double ipc = 0.0;
+        bool from_cache = false; ///< loaded from the artifact cache
+    };
+
+    /** One run_suite call (cold vs warm is visible per pass). */
+    struct SuiteTiming
+    {
+        double wall_seconds = 0.0;
+        std::uint64_t simulated = 0; ///< benchmarks actually replayed
+        std::uint64_t loaded = 0;    ///< benchmarks loaded from cache
     };
 
     unsigned jobs = 1;                ///< resolved worker count
+    std::string cache_dir;            ///< artifact cache in use ("" = off)
     double suite_wall_seconds = 0.0;  ///< summed over all suite runs
+    std::vector<SuiteTiming> suites;  ///< per-suite-call timings
     std::vector<RunTiming> runs;      ///< per-benchmark timings
 
     /** One emitted table. */
@@ -94,7 +119,17 @@ struct BenchReport
             w.key(name).value(value);
         w.end_object();
         w.key("jobs").value(static_cast<std::uint64_t>(jobs));
+        w.key("cache_dir").value(cache_dir);
         w.key("suite_wall_seconds").value(suite_wall_seconds);
+        w.key("suites").begin_array();
+        for (const SuiteTiming &suite : suites) {
+            w.begin_object();
+            w.key("wall_seconds").value(suite.wall_seconds);
+            w.key("simulated").value(suite.simulated);
+            w.key("loaded").value(suite.loaded);
+            w.end_object();
+        }
+        w.end_array();
         w.key("benchmarks").begin_array();
         for (const RunTiming &run : runs) {
             w.begin_object();
@@ -103,6 +138,7 @@ struct BenchReport
             w.key("instructions").value(run.instructions);
             w.key("cycles").value(run.cycles);
             w.key("ipc").value(run.ipc);
+            w.key("from_cache").value(run.from_cache);
             w.end_object();
         }
         w.end_array();
@@ -132,13 +168,17 @@ report()
     return instance;
 }
 
-/** Rewrite the JSON report when --json was given. */
+/**
+ * Rewrite the JSON report when --json was given.  The write is atomic
+ * (tmp file + rename, shared with the artifact cache), so a reader —
+ * or a crash mid-emit — never observes a torn report.
+ */
 inline void
 flush_report(const util::Cli &cli)
 {
     const std::string path = cli.get("json");
     if (!path.empty())
-        util::write_text_file(path, report().to_json(cli) + "\n");
+        util::write_file_atomic(path, report().to_json(cli) + "\n");
 }
 
 /** Build the standard CLI for a bench binary. */
@@ -160,6 +200,17 @@ make_cli(const std::string &name, const std::string &desc)
     cli.add_flag("csv-dir", "also mirror each table to CSV files in "
                             "this directory (empty = off)",
                  "");
+    cli.add_flag("cache-dir",
+                 "persist/reuse per-benchmark simulation artifacts in "
+                 "this directory (empty = $LEAKBOUND_CACHE_DIR, or "
+                 "off); cached results are byte-identical to fresh "
+                 "simulation",
+                 "");
+    cli.add_flag("suite-passes",
+                 "run the suite this many times in-process; with "
+                 "--cache-dir the first pass is cold and later passes "
+                 "are warm loads, each timed in the JSON report",
+                 "1");
     report().program = name;
     report().description = desc;
     return cli;
@@ -173,12 +224,17 @@ suite_jobs(const util::Cli &cli)
         static_cast<unsigned>(cli.get_u64("jobs")));
 }
 
-/** Apply the shared suite flags (--instructions, --jobs) to @p config. */
+/**
+ * Apply the shared suite flags (--instructions, --jobs, --cache-dir)
+ * to @p config.  The cache directory resolves through the
+ * LEAKBOUND_CACHE_DIR environment variable when the flag is empty.
+ */
 inline void
 apply_suite_flags(core::ExperimentConfig &config, const util::Cli &cli)
 {
     config.instructions = cli.get_u64("instructions");
     config.jobs = suite_jobs(cli);
+    config.cache_dir = core::resolve_cache_dir(cli.get("cache-dir"));
 }
 
 /**
@@ -194,10 +250,13 @@ run_suite_reported(const std::vector<std::string> &names,
     const auto start = std::chrono::steady_clock::now();
     auto results = core::run_suite(names, config);
     report().jobs = util::ThreadPool::effective_jobs(config.jobs);
-    report().suite_wall_seconds +=
+    report().cache_dir = config.cache_dir;
+    BenchReport::SuiteTiming suite;
+    suite.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
+    report().suite_wall_seconds += suite.wall_seconds;
     for (const auto &run : results) {
         BenchReport::RunTiming timing;
         timing.benchmark = run.workload;
@@ -205,8 +264,11 @@ run_suite_reported(const std::vector<std::string> &names,
         timing.instructions = run.core.instructions;
         timing.cycles = run.core.cycles;
         timing.ipc = run.core.ipc();
+        timing.from_cache = run.from_cache;
+        ++(run.from_cache ? suite.loaded : suite.simulated);
         report().runs.push_back(std::move(timing));
     }
+    report().suites.push_back(suite);
     flush_report(cli);
     return results;
 }
@@ -238,7 +300,12 @@ emit(const util::Table &table, const util::Cli &cli,
 /**
  * Simulate the full six-benchmark suite with histogram edges covering
  * every stock experiment (plus @p extra_edges for custom sweeps),
- * honouring --instructions and --jobs.
+ * honouring --instructions, --jobs, --cache-dir and --suite-passes.
+ * With --suite-passes N > 1 the suite runs N times and the last pass's
+ * results are returned — pointless without a cache, but with one the
+ * JSON report then records the cold replay and the warm load times
+ * side by side (the bench smoke test and the committed
+ * BENCH_suite.json use exactly this).
  */
 inline std::vector<core::ExperimentResult>
 run_standard_suite(const util::Cli &cli,
@@ -249,6 +316,13 @@ run_standard_suite(const util::Cli &cli,
     config.extra_edges = core::standard_extra_edges();
     config.extra_edges.insert(config.extra_edges.end(),
                               extra_edges.begin(), extra_edges.end());
+    const std::uint64_t passes =
+        std::max<std::uint64_t>(cli.get_u64("suite-passes"), 1);
+    if (passes > 1 && config.cache_dir.empty())
+        util::warn("--suite-passes > 1 without --cache-dir just "
+                   "repeats the same replay");
+    for (std::uint64_t pass = 1; pass < passes; ++pass)
+        run_suite_reported(workload::suite_names(), config, cli);
     return run_suite_reported(workload::suite_names(), config, cli);
 }
 

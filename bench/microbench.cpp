@@ -9,12 +9,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <filesystem>
+
+#include "core/artifact_cache.hpp"
 #include "core/experiment.hpp"
 #include "core/policies.hpp"
 #include "core/savings.hpp"
 #include "interval/collector.hpp"
 #include "prefetch/stride.hpp"
 #include "sim/cache.hpp"
+#include "trace/trace_io.hpp"
+#include "util/binary_io.hpp"
 #include "util/edge_index.hpp"
 #include "util/flat_map.hpp"
 #include "util/random.hpp"
@@ -198,6 +204,68 @@ BM_PolicyGrid(benchmark::State &state)
         static_cast<std::int64_t>(policies.size() * sets.size()));
 }
 BENCHMARK(BM_PolicyGrid)->Arg(1)->Arg(4);
+
+void
+BM_TraceIoRoundTrip(benchmark::State &state)
+{
+    // Streaming throughput of the block-buffered trace writer+reader:
+    // one iteration writes and reads back a multi-block trace.
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "lb_microbench_trace.bin")
+            .string();
+    constexpr std::size_t kRecords = 8 * trace::kBlockRecords;
+    util::Rng rng(11);
+    std::vector<trace::TimedAccess> records(kRecords);
+    for (auto &rec : records) {
+        rec.cycle = rng.next_u64();
+        rec.pc = rng.next_u64();
+        rec.addr = rng.next_u64();
+        rec.kind = static_cast<trace::InstrKind>(rng.next_below(3));
+    }
+    for (auto _ : state) {
+        {
+            trace::TraceWriter w(path);
+            for (const auto &rec : records)
+                w.write(rec);
+        }
+        trace::TraceReader r(path);
+        trace::TimedAccess rec;
+        std::uint64_t sum = 0;
+        while (r.next(rec))
+            sum += rec.addr;
+        benchmark::DoNotOptimize(sum);
+    }
+    std::remove(path.c_str());
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kRecords));
+    state.SetBytesProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(2 * kRecords * trace::kTraceRecordBytes));
+}
+BENCHMARK(BM_TraceIoRoundTrip);
+
+void
+BM_ResultSerialize(benchmark::State &state)
+{
+    // Artifact-cache payload encode+decode for one benchmark result;
+    // this bounds the per-entry overhead of a warm suite load.
+    static const core::ExperimentResult result = [] {
+        core::ExperimentConfig config;
+        config.instructions = 100'000;
+        config.extra_edges = core::standard_extra_edges();
+        auto w = workload::make_benchmark("gzip");
+        return core::run_experiment(*w, config);
+    }();
+    std::size_t bytes = 0;
+    for (auto _ : state) {
+        const std::string payload = core::serialize_result(result);
+        bytes = payload.size();
+        benchmark::DoNotOptimize(core::deserialize_result(payload));
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(2 * bytes));
+}
+BENCHMARK(BM_ResultSerialize);
 
 void
 BM_EndToEndPipeline(benchmark::State &state)

@@ -11,6 +11,7 @@
 #include <memory>
 #include <utility>
 
+#include "core/artifact_cache.hpp"
 #include "core/inflection.hpp"
 #include "core/policies.hpp"
 #include "interval/collector.hpp"
@@ -151,6 +152,11 @@ standard_extra_edges()
             }
         }
     }
+    // The node x CD x sweep nesting revisits many thresholds; return
+    // the canonical sorted+unique form so downstream consumers (edge
+    // construction, config fingerprinting) see a stable minimal list.
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
     return edges;
 }
 
@@ -228,12 +234,36 @@ run_suite(const std::vector<std::string> &names,
     std::vector<ExperimentResult> results;
     results.reserve(names.size());
 
+    // The artifact cache turns repeat replays of a (workload, config)
+    // pair into loads; keep_raw runs bypass it because raw intervals
+    // are never persisted.  The config is fingerprinted once and
+    // per-benchmark keys derived from it.
+    const bool use_cache = !config.cache_dir.empty() && !config.keep_raw;
+    std::optional<ArtifactCache> cache;
+    std::uint64_t config_fp = 0;
+    if (use_cache) {
+        cache.emplace(config.cache_dir);
+        config_fp = fingerprint_config(config);
+    }
+
+    auto run_one = [&config, &cache,
+                    config_fp](workload::Workload &workload) {
+        if (!cache)
+            return run_experiment(workload, config);
+        return cache->load_or_run(
+            fingerprint_entry(config_fp, workload.name()),
+            workload.name(),
+            [&workload, &config] {
+                return run_experiment(workload, config);
+            });
+    };
+
     if (jobs <= 1) {
         for (const std::string &name : names) {
             workload::WorkloadPtr w = workload::make_benchmark(name);
             util::inform("simulating ", name, " (",
                          config.instructions, " instructions)");
-            results.push_back(run_experiment(*w, config));
+            results.push_back(run_one(*w));
         }
         return results;
     }
@@ -242,7 +272,10 @@ run_suite(const std::vector<std::string> &names,
     // unknown names; better to die before spawning workers), then each
     // simulation runs into its own collectors.  Collecting futures in
     // submission order makes the merge deterministic: the output is
-    // bit-identical to the serial loop for any jobs value.
+    // bit-identical to the serial loop for any jobs value.  Cache
+    // probes run inside the workers too — distinct benchmarks map to
+    // distinct entries, so the per-entry lock files never contend
+    // within one suite.
     util::inform("simulating ", names.size(), " benchmarks on ", jobs,
                  " threads (", config.instructions,
                  " instructions each)");
@@ -252,8 +285,8 @@ run_suite(const std::vector<std::string> &names,
     for (const std::string &name : names) {
         workload::WorkloadPtr w = workload::make_benchmark(name);
         futures.push_back(pool.submit(
-            [workload = std::move(w), &config]() mutable {
-                return run_experiment(*workload, config);
+            [workload = std::move(w), &run_one]() mutable {
+                return run_one(*workload);
             }));
     }
     for (auto &future : futures)

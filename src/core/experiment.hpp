@@ -61,6 +61,15 @@ struct ExperimentConfig
      * for every jobs value.
      */
     unsigned jobs = 1;
+    /**
+     * Directory of the persistent artifact cache (see
+     * core/artifact_cache.hpp); empty disables caching.  When set,
+     * run_suite() loads previously simulated (workload, config)
+     * results instead of replaying them — loaded results are
+     * byte-identical to fresh simulation.  keep_raw runs always bypass
+     * the cache (raw intervals are memory-only and never persisted).
+     */
+    std::string cache_dir;
 };
 
 /** What one cache yielded. */
@@ -88,9 +97,16 @@ struct ExperimentResult
     sim::CacheStats l2;
     /**
      * Wall-clock time the simulation took, in seconds (reporting only;
-     * never feeds back into simulated results).
+     * never feeds back into simulated results).  For a cache-loaded
+     * result this is the load time, not the original replay time.
      */
     double wall_seconds = 0.0;
+    /**
+     * Whether this result was loaded from the artifact cache instead
+     * of simulated (reporting only; the contents are byte-identical
+     * either way).
+     */
+    bool from_cache = false;
 
     ExperimentResult(CacheObservation ic, CacheObservation dc)
         : icache(std::move(ic)), dcache(std::move(dc))

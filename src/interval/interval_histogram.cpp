@@ -182,6 +182,40 @@ IntervalHistogramSet::inner_count_in(Cycles lo, Cycles hi) const
     return total;
 }
 
+void
+IntervalHistogramSet::serialize(util::BinaryWriter &w) const
+{
+    w.put_u64_vector(index_->edges());
+    w.put_u64(hists_.size());
+    for (const util::Histogram &h : hists_)
+        h.write_bins(w);
+    w.put_u64(num_frames_);
+    w.put_u64(total_cycles_);
+}
+
+std::optional<IntervalHistogramSet>
+IntervalHistogramSet::deserialize(util::BinaryReader &r)
+{
+    std::vector<std::uint64_t> edges = r.get_u64_vector();
+    if (r.failed() || edges.empty() || edges.front() != 0)
+        return std::nullopt;
+    for (std::size_t i = 1; i < edges.size(); ++i)
+        if (edges[i] <= edges[i - 1])
+            return std::nullopt;
+
+    IntervalHistogramSet set(std::move(edges));
+    if (r.get_u64() != set.hists_.size() || r.failed())
+        return std::nullopt;
+    for (util::Histogram &h : set.hists_)
+        if (!h.read_bins(r))
+            return std::nullopt;
+    set.num_frames_ = r.get_u64();
+    set.total_cycles_ = r.get_u64();
+    if (r.failed())
+        return std::nullopt;
+    return set;
+}
+
 std::vector<std::uint64_t>
 IntervalHistogramSet::default_edges(const std::vector<Cycles> &extra)
 {

@@ -18,9 +18,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "interval/interval.hpp"
+#include "util/binary_io.hpp"
 #include "util/histogram.hpp"
 #include "util/types.hpp"
 
@@ -98,6 +100,24 @@ class IntervalHistogramSet
     {
         return index_->edges();
     }
+
+    /**
+     * Append the full set — edge list, every histogram's bins, and the
+     * run info — to @p w in the stable little-endian layout the
+     * artifact cache persists (see core::ArtifactCache).  The output
+     * is a pure function of the set's contents, so two observably
+     * equal sets serialize to identical bytes.
+     */
+    void serialize(util::BinaryWriter &w) const;
+
+    /**
+     * Rebuild a set from bytes written by serialize().  Every field is
+     * bounds-checked and the edge list re-validated (non-empty, sorted,
+     * unique, starting at 0); @return nullopt on any inconsistency
+     * rather than trusting the input.
+     */
+    static std::optional<IntervalHistogramSet>
+    deserialize(util::BinaryReader &r);
 
     /**
      * Build the standard edge list: fine-grained 0..64, log2-spaced

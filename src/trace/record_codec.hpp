@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared on-disk codec for trace records.
+ *
+ * One place defines the 32-byte little-endian record layout that
+ * TraceWriter/TraceReader stream, so block-buffered IO, tests and any
+ * future mmap/replay path agree byte-for-byte.  The encoding is
+ * explicit per-byte (not a struct memcpy), which pins the format to
+ * little-endian regardless of host endianness while producing exactly
+ * the bytes the original struct dump produced on x86.
+ */
+
+#ifndef LEAKBOUND_TRACE_RECORD_CODEC_HPP
+#define LEAKBOUND_TRACE_RECORD_CODEC_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+#include "trace/record.hpp"
+
+namespace leakbound::trace {
+
+/** Magic+version header that opens every trace file. */
+inline constexpr char kTraceMagic[8] = {'l', 'k', 'b', 't',
+                                        'r', 'c', '0', '1'};
+
+/** Size of one encoded record: cycle, pc, addr (u64 LE), kind, pad. */
+inline constexpr std::size_t kTraceRecordBytes = 32;
+
+namespace detail {
+
+inline void
+store_u64le(unsigned char *out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xff);
+}
+
+inline std::uint64_t
+load_u64le(const unsigned char *in)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+    return v;
+}
+
+} // namespace detail
+
+/** Encode @p rec into @p out[kTraceRecordBytes]. */
+inline void
+encode_record(const TimedAccess &rec, unsigned char *out)
+{
+    detail::store_u64le(out, rec.cycle);
+    detail::store_u64le(out + 8, rec.pc);
+    detail::store_u64le(out + 16, rec.addr);
+    out[24] = static_cast<unsigned char>(rec.kind);
+    for (std::size_t i = 25; i < kTraceRecordBytes; ++i)
+        out[i] = 0;
+}
+
+/** Decode @p in[kTraceRecordBytes] into @p rec. */
+inline void
+decode_record(const unsigned char *in, TimedAccess &rec)
+{
+    rec.cycle = detail::load_u64le(in);
+    rec.pc = detail::load_u64le(in + 8);
+    rec.addr = detail::load_u64le(in + 16);
+    rec.kind = static_cast<InstrKind>(in[24]);
+}
+
+} // namespace leakbound::trace
+
+#endif // LEAKBOUND_TRACE_RECORD_CODEC_HPP

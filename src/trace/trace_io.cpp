@@ -1,60 +1,55 @@
 /**
  * @file
- * Implementation of binary trace IO.
+ * Implementation of block-buffered binary trace IO.
  */
 
 #include "trace/trace_io.hpp"
 
-#include <array>
 #include <cstring>
 
 #include "util/logging.hpp"
 
 namespace leakbound::trace {
 
-namespace {
-
-constexpr char kMagic[8] = {'l', 'k', 'b', 't', 'r', 'c', '0', '1'};
-
-/** On-disk record layout (little-endian, packed by hand). */
-struct DiskRecord
-{
-    std::uint64_t cycle;
-    std::uint64_t pc;
-    std::uint64_t addr;
-    std::uint8_t kind;
-    std::uint8_t pad[7];
-};
-static_assert(sizeof(DiskRecord) == 32, "trace record layout drifted");
-
-} // namespace
-
 TraceWriter::TraceWriter(const std::string &path)
     : file_(std::fopen(path.c_str(), "wb"))
 {
     if (!file_)
         util::fatal("cannot create trace file: ", path);
-    if (std::fwrite(kMagic, 1, sizeof(kMagic), file_) != sizeof(kMagic))
+    if (std::fwrite(kTraceMagic, 1, sizeof(kTraceMagic), file_) !=
+        sizeof(kTraceMagic))
         util::fatal("cannot write trace header: ", path);
+    buffer_.reserve(kBlockRecords * kTraceRecordBytes);
 }
 
 TraceWriter::~TraceWriter()
 {
-    if (file_)
+    if (file_) {
+        flush();
         std::fclose(file_);
+    }
 }
 
 void
 TraceWriter::write(const TimedAccess &rec)
 {
-    DiskRecord disk{};
-    disk.cycle = rec.cycle;
-    disk.pc = rec.pc;
-    disk.addr = rec.addr;
-    disk.kind = static_cast<std::uint8_t>(rec.kind);
-    if (std::fwrite(&disk, sizeof(disk), 1, file_) != 1)
-        util::fatal("short write to trace file");
+    unsigned char encoded[kTraceRecordBytes];
+    encode_record(rec, encoded);
+    buffer_.insert(buffer_.end(), encoded, encoded + kTraceRecordBytes);
     ++count_;
+    if (buffer_.size() >= kBlockRecords * kTraceRecordBytes)
+        flush();
+}
+
+void
+TraceWriter::flush()
+{
+    if (buffer_.empty())
+        return;
+    if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
+        buffer_.size())
+        util::fatal("short write to trace file");
+    buffer_.clear();
 }
 
 TraceReader::TraceReader(const std::string &path)
@@ -62,11 +57,12 @@ TraceReader::TraceReader(const std::string &path)
 {
     if (!file_)
         util::fatal("cannot open trace file: ", path);
-    char magic[sizeof(kMagic)];
+    char magic[sizeof(kTraceMagic)];
     if (std::fread(magic, 1, sizeof(magic), file_) != sizeof(magic) ||
-        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        std::memcmp(magic, kTraceMagic, sizeof(kTraceMagic)) != 0) {
         util::fatal("not a leakbound trace file: ", path);
     }
+    buffer_.resize(kBlockRecords * kTraceRecordBytes);
 }
 
 TraceReader::~TraceReader()
@@ -76,15 +72,29 @@ TraceReader::~TraceReader()
 }
 
 bool
+TraceReader::refill()
+{
+    // Move any partial record left at the tail to the front, then top
+    // the block up.  Records never straddle a refill boundary from the
+    // decoder's point of view.
+    const std::size_t leftover = avail_ - pos_;
+    if (leftover > 0)
+        std::memmove(buffer_.data(), buffer_.data() + pos_, leftover);
+    pos_ = 0;
+    avail_ = leftover;
+    const std::size_t got = std::fread(buffer_.data() + avail_, 1,
+                                       buffer_.size() - avail_, file_);
+    avail_ += got;
+    return avail_ - pos_ >= kTraceRecordBytes;
+}
+
+bool
 TraceReader::next(TimedAccess &rec)
 {
-    DiskRecord disk;
-    if (std::fread(&disk, sizeof(disk), 1, file_) != 1)
+    if (avail_ - pos_ < kTraceRecordBytes && !refill())
         return false;
-    rec.cycle = disk.cycle;
-    rec.pc = disk.pc;
-    rec.addr = disk.addr;
-    rec.kind = static_cast<InstrKind>(disk.kind);
+    decode_record(buffer_.data() + pos_, rec);
+    pos_ += kTraceRecordBytes;
     ++count_;
     return true;
 }

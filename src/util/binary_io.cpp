@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Implementation of the binary IO primitives.
+ */
+
+#include "util/binary_io.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "util/logging.hpp"
+
+namespace leakbound::util {
+
+void
+BinaryWriter::put_u32(std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+BinaryWriter::put_u64(std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+BinaryWriter::put_double(double v)
+{
+    static_assert(sizeof(double) == sizeof(std::uint64_t));
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put_u64(bits);
+}
+
+void
+BinaryWriter::put_string(const std::string &s)
+{
+    put_u64(s.size());
+    out_.append(s);
+}
+
+void
+BinaryWriter::put_u64_vector(const std::vector<std::uint64_t> &v)
+{
+    put_u64(v.size());
+    for (std::uint64_t x : v)
+        put_u64(x);
+}
+
+bool
+BinaryReader::want(std::size_t n)
+{
+    if (failed_ || n > size_ - pos_) {
+        failed_ = true;
+        return false;
+    }
+    return true;
+}
+
+std::uint8_t
+BinaryReader::get_u8()
+{
+    if (!want(1))
+        return 0;
+    return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint32_t
+BinaryReader::get_u32()
+{
+    if (!want(4))
+        return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(data_[pos_ + i]))
+             << (8 * i);
+    pos_ += 4;
+    return v;
+}
+
+std::uint64_t
+BinaryReader::get_u64()
+{
+    if (!want(8))
+        return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(data_[pos_ + i]))
+             << (8 * i);
+    pos_ += 8;
+    return v;
+}
+
+double
+BinaryReader::get_double()
+{
+    const std::uint64_t bits = get_u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string
+BinaryReader::get_string()
+{
+    const std::uint64_t n = get_u64();
+    // The length prefix itself must be covered by the remaining bytes;
+    // this rejects absurd lengths from corrupt input before allocating.
+    if (failed_ || n > size_ - pos_) {
+        failed_ = true;
+        return {};
+    }
+    std::string s(data_ + pos_, static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+}
+
+std::vector<std::uint64_t>
+BinaryReader::get_u64_vector()
+{
+    const std::uint64_t n = get_u64();
+    if (failed_ || n > (size_ - pos_) / 8) {
+        failed_ = true;
+        return {};
+    }
+    std::vector<std::uint64_t> v;
+    v.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i)
+        v.push_back(get_u64());
+    return v;
+}
+
+bool
+write_file_atomic(const std::string &path, const std::string &contents,
+                  bool best_effort)
+{
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    std::FILE *file = std::fopen(tmp.c_str(), "wb");
+    if (!file) {
+        if (best_effort)
+            return false;
+        fatal("cannot create file: ", tmp);
+    }
+    const bool wrote =
+        std::fwrite(contents.data(), 1, contents.size(), file) ==
+        contents.size();
+    // Flush user buffers and the kernel page cache before the rename
+    // publishes the file, so a crash never leaves a short entry under
+    // the final name.
+    const bool synced = wrote && std::fflush(file) == 0 &&
+                        ::fsync(::fileno(file)) == 0;
+    std::fclose(file);
+    if (!synced) {
+        std::remove(tmp.c_str());
+        if (best_effort)
+            return false;
+        fatal("short write to ", tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        if (best_effort)
+            return false;
+        fatal("cannot rename ", tmp, " to ", path);
+    }
+    return true;
+}
+
+bool
+read_file_bytes(const std::string &path, std::string &out)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        return false;
+    out.clear();
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0)
+        out.append(buf, n);
+    const bool ok = std::ferror(file) == 0;
+    std::fclose(file);
+    return ok;
+}
+
+} // namespace leakbound::util

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Implementation of the FNV-1a fingerprint hasher.
+ */
+
+#include "util/fingerprint.hpp"
+
+#include <cstdio>
+
+namespace leakbound::util {
+
+void
+Fingerprint::mix_bytes(const void *data, std::size_t size)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint64_t h = state_;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= bytes[i];
+        h *= kPrime;
+    }
+    state_ = h;
+}
+
+void
+Fingerprint::mix_u64(std::uint64_t v)
+{
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xff);
+    mix_bytes(bytes, sizeof(bytes));
+}
+
+void
+Fingerprint::mix_string(const std::string &s)
+{
+    mix_u64(s.size());
+    mix_bytes(s.data(), s.size());
+}
+
+void
+Fingerprint::mix_u64_vector(const std::vector<std::uint64_t> &v)
+{
+    mix_u64(v.size());
+    for (std::uint64_t x : v)
+        mix_u64(x);
+}
+
+std::uint64_t
+fnv1a(const void *data, std::size_t size)
+{
+    Fingerprint fp;
+    fp.mix_bytes(data, size);
+    return fp.digest();
+}
+
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return std::string(buf);
+}
+
+} // namespace leakbound::util

@@ -110,6 +110,29 @@ Histogram::dump() const
     return os.str();
 }
 
+void
+Histogram::write_bins(BinaryWriter &w) const
+{
+    w.put_u64(bins_.size());
+    for (const HistBin &b : bins_) {
+        w.put_u64(b.count);
+        w.put_u64(b.sum);
+    }
+}
+
+bool
+Histogram::read_bins(BinaryReader &r)
+{
+    const std::uint64_t n = r.get_u64();
+    if (r.failed() || n != bins_.size())
+        return false;
+    for (HistBin &b : bins_) {
+        b.count = r.get_u64();
+        b.sum = r.get_u64();
+    }
+    return !r.failed();
+}
+
 std::vector<std::uint64_t>
 Histogram::log2_edges(std::uint64_t max_value)
 {

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "util/binary_io.hpp"
 #include "util/edge_index.hpp"
 
 namespace leakbound::util {
@@ -109,6 +110,21 @@ class Histogram
 
     /** Render a compact textual summary (one line per non-empty bin). */
     std::string dump() const;
+
+    /**
+     * Append the bin contents (count/sum pairs, length-prefixed) to
+     * @p w.  The edge list is *not* written — sets of histograms over
+     * one edge list store it once (see IntervalHistogramSet).
+     */
+    void write_bins(BinaryWriter &w) const;
+
+    /**
+     * Replace the bin contents with bins read from @p r, written by
+     * write_bins over an identical edge list.  @return false (leaving
+     * the histogram unspecified) when the input is truncated or its
+     * bin count does not match this histogram's edges.
+     */
+    bool read_bins(BinaryReader &r);
 
     /**
      * Build a log2-spaced edge list covering [1, max_value], useful for

@@ -245,6 +245,16 @@ TEST(Experiment, L2CollectionOffByDefault)
     EXPECT_FALSE(run.l2cache.has_value());
 }
 
+TEST(Experiment, StandardExtraEdgesAreSortedAndUnique)
+{
+    // Downstream consumers — histogram construction and the artifact
+    // cache fingerprint — rely on the canonical sorted+deduped form.
+    const std::vector<Cycles> edges = standard_extra_edges();
+    ASSERT_FALSE(edges.empty());
+    for (std::size_t i = 1; i < edges.size(); ++i)
+        EXPECT_LT(edges[i - 1], edges[i]) << "index " << i;
+}
+
 TEST(Experiment, RunSuiteCoversAllBenchmarks)
 {
     ExperimentConfig config = small_config();

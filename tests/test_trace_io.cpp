@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -158,6 +160,112 @@ TEST(TraceIo, FuzzedStreamsRoundTripExactly)
         EXPECT_EQ(r.count(), n);
         std::remove(path.c_str());
     }
+}
+
+TEST(TraceIo, BlockBoundaryCountsRoundTrip)
+{
+    // The block-buffered IO path has its interesting states exactly
+    // around multiples of kBlockRecords: empty buffer, one record, a
+    // partially filled block, an exactly full block (flush with no
+    // remainder), one spill-over record, and several blocks plus a
+    // tail.  Each count must round-trip bit-exactly and then hit EOF.
+    const std::size_t counts[] = {0,
+                                  1,
+                                  kBlockRecords - 1,
+                                  kBlockRecords,
+                                  kBlockRecords + 1,
+                                  2 * kBlockRecords + 3};
+    for (const std::size_t n : counts) {
+        const std::string path = temp_path("lb_trace_block.bin");
+        util::Rng rng(0xb10cULL ^ n);
+        std::vector<TimedAccess> expected;
+        {
+            TraceWriter w(path);
+            for (std::size_t i = 0; i < n; ++i) {
+                const TimedAccess rec = fuzz_record(rng);
+                w.write(rec);
+                expected.push_back(rec);
+            }
+            EXPECT_EQ(w.count(), n);
+        }
+        TraceReader r(path);
+        TimedAccess rec;
+        for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_TRUE(r.next(rec)) << "count " << n << " record " << i;
+            EXPECT_EQ(rec.cycle, expected[i].cycle) << "count " << n;
+            EXPECT_EQ(rec.pc, expected[i].pc) << "count " << n;
+            EXPECT_EQ(rec.addr, expected[i].addr) << "count " << n;
+            EXPECT_EQ(rec.kind, expected[i].kind) << "count " << n;
+        }
+        EXPECT_FALSE(r.next(rec)) << "count " << n;
+        EXPECT_EQ(r.count(), n);
+        std::remove(path.c_str());
+    }
+}
+
+TEST(TraceIo, MidStreamFlushKeepsFormatIdentical)
+{
+    // Explicit flushes between records must not change the byte stream:
+    // a file written with flushes after every record equals one written
+    // with pure block buffering.
+    const std::string path_a = temp_path("lb_trace_flush_a.bin");
+    const std::string path_b = temp_path("lb_trace_flush_b.bin");
+    util::Rng rng(0xf105ULL);
+    std::vector<TimedAccess> records;
+    for (int i = 0; i < 300; ++i)
+        records.push_back(fuzz_record(rng));
+    {
+        TraceWriter a(path_a);
+        TraceWriter b(path_b);
+        for (const TimedAccess &rec : records) {
+            a.write(rec);
+            a.flush();
+            b.write(rec);
+        }
+    }
+    std::ifstream fa(path_a, std::ios::binary);
+    std::ifstream fb(path_b, std::ios::binary);
+    const std::string bytes_a((std::istreambuf_iterator<char>(fa)),
+                              std::istreambuf_iterator<char>());
+    const std::string bytes_b((std::istreambuf_iterator<char>(fb)),
+                              std::istreambuf_iterator<char>());
+    EXPECT_EQ(bytes_a, bytes_b);
+    EXPECT_EQ(bytes_a.size(),
+              sizeof(kTraceMagic) + records.size() * kTraceRecordBytes);
+    std::remove(path_a.c_str());
+    std::remove(path_b.c_str());
+}
+
+TEST(TraceIo, TruncatedTrailingRecordReadsAsEof)
+{
+    // A file cut mid-record (e.g. a crashed writer) yields exactly the
+    // complete records and then EOF — matching the historical
+    // record-at-a-time behaviour the block reader replaced.
+    const std::string path = temp_path("lb_trace_trunc.bin");
+    util::Rng rng(0x7777);
+    std::vector<TimedAccess> records;
+    for (std::size_t i = 0; i < kBlockRecords + 10; ++i)
+        records.push_back(fuzz_record(rng));
+    {
+        TraceWriter w(path);
+        for (const TimedAccess &rec : records)
+            w.write(rec);
+    }
+    // Chop 7 bytes off the final record.
+    const std::size_t full =
+        sizeof(kTraceMagic) + records.size() * kTraceRecordBytes;
+    ASSERT_EQ(std::filesystem::file_size(path), full);
+    std::filesystem::resize_file(path, full - 7);
+
+    TraceReader r(path);
+    TimedAccess rec;
+    for (std::size_t i = 0; i + 1 < records.size(); ++i) {
+        ASSERT_TRUE(r.next(rec)) << "record " << i;
+        EXPECT_EQ(rec.addr, records[i].addr);
+    }
+    EXPECT_FALSE(r.next(rec));
+    EXPECT_EQ(r.count(), records.size() - 1);
+    std::remove(path.c_str());
 }
 
 TEST(TraceIo, ExtremeValuesRoundTrip)

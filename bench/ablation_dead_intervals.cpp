@@ -68,5 +68,5 @@ main(int argc, char **argv)
     std::printf("paper claim (Section 3.1): at the optimum, dead-period\n"
                 "refinement adds little — long intervals sleep either\n"
                 "way, and short dead intervals are rare.\n");
-    return 0;
+    return bench::finish(cli);
 }

@@ -53,5 +53,5 @@ main(int argc, char **argv)
     std::printf("shorter decay sleeps more but induces more re-fetches\n"
                 "(and every setting keeps paying the per-line counter);\n"
                 "no setting reaches the oracle bound.\n");
-    return 0;
+    return bench::finish(cli);
 }

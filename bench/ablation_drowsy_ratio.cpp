@@ -72,5 +72,5 @@ main(int argc, char **argv)
                 "sleep takes over earlier — and caps OPT-Drowsy at\n"
                 "1 - P_D/P_A; the hybrid bound degrades only mildly\n"
                 "because sleep absorbs the slack.\n");
-    return 0;
+    return bench::finish(cli);
 }

@@ -92,5 +92,5 @@ main(int argc, char **argv)
                 "to amortize the wait), OPT-Sleep degrades and drowsy\n"
                 "holds steady — the state-preserving vs state-destroying\n"
                 "trade-off of Li et al. [10].\n");
-    return 0;
+    return bench::finish(cli);
 }

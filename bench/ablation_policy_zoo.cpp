@@ -67,5 +67,5 @@ main(int argc, char **argv)
         "minus its boundary-wait losses; decay trades induced misses\n"
         "for sleep time; only the oracle hybrid reaches the bound —\n"
         "the headroom the paper quantifies.\n");
-    return 0;
+    return bench::finish(cli);
 }

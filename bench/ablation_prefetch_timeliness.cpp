@@ -74,5 +74,5 @@ main(int argc, char **argv)
                 "slightly (triggers usually precede the covered access\n"
                 "by far more than the wakeup path), supporting the\n"
                 "paper's simplification.\n");
-    return 0;
+    return bench::finish(cli);
 }

@@ -97,5 +97,5 @@ main(int argc, char **argv)
                 "policy (intervals are a frame-level property), and MIN\n"
                 "bounds every online policy — the same bound-vs-policy\n"
                 "relationship the paper builds for leakage.\n");
-    return 0;
+    return bench::finish(cli);
 }

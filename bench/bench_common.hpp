@@ -39,17 +39,23 @@
 #define LEAKBOUND_BENCH_BENCH_COMMON_HPP
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "core/artifact_cache.hpp"
+#include "core/cache_health.hpp"
 #include "core/experiment.hpp"
 #include "core/policies.hpp"
 #include "core/savings.hpp"
 #include "util/binary_io.hpp"
 #include "util/cli.hpp"
+#include "util/fault_injection.hpp"
+#include "util/interrupt.hpp"
 #include "util/json.hpp"
+#include "util/status.hpp"
 #include "util/string_utils.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -87,6 +93,22 @@ struct BenchReport
         double wall_seconds = 0.0;
         std::uint64_t simulated = 0; ///< benchmarks actually replayed
         std::uint64_t loaded = 0;    ///< benchmarks loaded from cache
+        std::uint64_t failed = 0;    ///< jobs that produced no result
+    };
+
+    /**
+     * One recorded failure.  `where` says which layer failed: "job"
+     * (a suite benchmark produced no result), "cache" (the artifact
+     * cache degraded), or "report" (a CSV/JSON mirror could not be
+     * written; the table still printed).
+     */
+    struct Failure
+    {
+        std::string where;
+        std::string benchmark; ///< benchmark or path; "" when n/a
+        std::string kind;      ///< util::error_kind_name bucket
+        std::string message;
+        std::uint64_t retries = 0;
     };
 
     unsigned jobs = 1;                ///< resolved worker count
@@ -94,6 +116,11 @@ struct BenchReport
     double suite_wall_seconds = 0.0;  ///< summed over all suite runs
     std::vector<SuiteTiming> suites;  ///< per-suite-call timings
     std::vector<RunTiming> runs;      ///< per-benchmark timings
+    std::vector<Failure> failures;    ///< everything that went wrong
+    core::CacheHealth cache_health;   ///< summed over all suite runs
+    bool interrupted = false;         ///< SIGINT/SIGTERM cut the run short
+    /** Suite jobs that failed for a non-interrupt reason. */
+    std::uint64_t failed_jobs = 0;
 
     /** One emitted table. */
     struct TableDump
@@ -121,15 +148,37 @@ struct BenchReport
         w.key("jobs").value(static_cast<std::uint64_t>(jobs));
         w.key("cache_dir").value(cache_dir);
         w.key("suite_wall_seconds").value(suite_wall_seconds);
+        w.key("interrupted").value(interrupted);
         w.key("suites").begin_array();
         for (const SuiteTiming &suite : suites) {
             w.begin_object();
             w.key("wall_seconds").value(suite.wall_seconds);
             w.key("simulated").value(suite.simulated);
             w.key("loaded").value(suite.loaded);
+            w.key("failed").value(suite.failed);
             w.end_object();
         }
         w.end_array();
+        w.key("failures").begin_array();
+        for (const Failure &failure : failures) {
+            w.begin_object();
+            w.key("where").value(failure.where);
+            w.key("benchmark").value(failure.benchmark);
+            w.key("kind").value(failure.kind);
+            w.key("message").value(failure.message);
+            w.key("retries").value(failure.retries);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("cache_health").begin_object();
+        w.key("store_failures").value(cache_health.store_failures);
+        w.key("corrupt_entries").value(cache_health.corrupt_entries);
+        w.key("lock_breaks").value(cache_health.lock_breaks);
+        w.key("lock_timeouts").value(cache_health.lock_timeouts);
+        w.key("lock_retries").value(cache_health.lock_retries);
+        w.key("degraded_jobs").value(cache_health.degraded_jobs);
+        w.key("degraded").value(cache_health.degraded);
+        w.end_object();
         w.key("benchmarks").begin_array();
         for (const RunTiming &run : runs) {
             w.begin_object();
@@ -171,20 +220,62 @@ report()
 /**
  * Rewrite the JSON report when --json was given.  The write is atomic
  * (tmp file + rename, shared with the artifact cache), so a reader —
- * or a crash mid-emit — never observes a torn report.
+ * or a crash mid-emit — never observes a torn report.  Unlike cache
+ * entries, the report carries no checksum, so a torn publish (a
+ * non-atomic filesystem, or the injected rename_torn fault) would
+ * masquerade as success and hand a consumer half a JSON document —
+ * each write is therefore verified by reading the file back, and a
+ * mismatch retried a bounded number of times.  A persistent failure
+ * warns instead of killing the bench (the tables still reach stdout),
+ * and a file known to be torn is removed, so the consumer contract is
+ * the same as the cache's: a valid report or no report, never a
+ * corrupt one.
  */
 inline void
 flush_report(const util::Cli &cli)
 {
     const std::string path = cli.get("json");
-    if (!path.empty())
-        util::write_file_atomic(path, report().to_json(cli) + "\n");
+    if (path.empty())
+        return;
+    const std::string contents = report().to_json(cli) + "\n";
+    constexpr int kMaxPublishAttempts = 5;
+    util::Status wrote;
+    for (int attempt = 0; attempt < kMaxPublishAttempts; ++attempt) {
+        wrote = util::write_file_atomic(path, contents);
+        if (!wrote.ok())
+            continue;
+        std::string check;
+        if (util::read_file_bytes(path, check).ok() && check == contents)
+            return;
+        wrote = util::Status(util::ErrorKind::CorruptData,
+                             "torn report publish: " + path);
+        std::remove(path.c_str());
+    }
+    util::warn("cannot flush JSON report: ", wrote.to_string());
+}
+
+/**
+ * Exit-code policy for bench binaries (documented in the README):
+ * 0 = clean run, 2 = user error (util::fatal), 3 = one or more suite
+ * jobs failed (partial results; see the report's "failures" array),
+ * 128+signal = interrupted.  Call as `return bench::finish(cli);`.
+ */
+inline int
+finish(const util::Cli &cli)
+{
+    flush_report(cli);
+    return report().failed_jobs > 0 ? 3 : 0;
 }
 
 /** Build the standard CLI for a bench binary. */
 inline util::Cli
 make_cli(const std::string &name, const std::string &desc)
 {
+    // Bench binaries are the process boundary: arm the cooperative
+    // SIGINT/SIGTERM handler (flush-partial-report semantics) and, in
+    // chaos builds, pick up $LEAKBOUND_FAULT_INJECTION.
+    util::install_signal_handlers();
+    util::fault::configure_from_env();
     util::Cli cli(name, desc);
     cli.add_flag("instructions", "dynamic instructions per benchmark",
                  std::to_string(kDefaultInstructions));
@@ -238,9 +329,14 @@ apply_suite_flags(core::ExperimentConfig &config, const util::Cli &cli)
 }
 
 /**
- * core::run_suite plus bookkeeping: wall-clock the run and record
- * per-benchmark timings into the --json report.  All bench binaries
- * funnel their suite simulations through here.
+ * core::run_suite_isolated plus bookkeeping: wall-clock the run,
+ * record per-benchmark timings, fold job failures and cache health
+ * into the --json report, and return the surviving results.  All
+ * bench binaries funnel their suite simulations through here.
+ *
+ * A failed job costs exactly its own rows (tables aggregate over the
+ * survivors); an interrupt flushes the partial report with
+ * `"interrupted": true` and exits 128+signal.
  */
 inline std::vector<core::ExperimentResult>
 run_suite_reported(const std::vector<std::string> &names,
@@ -248,7 +344,7 @@ run_suite_reported(const std::vector<std::string> &names,
                    const util::Cli &cli)
 {
     const auto start = std::chrono::steady_clock::now();
-    auto results = core::run_suite(names, config);
+    core::SuiteOutcome outcome = core::run_suite_isolated(names, config);
     report().jobs = util::ThreadPool::effective_jobs(config.jobs);
     report().cache_dir = config.cache_dir;
     BenchReport::SuiteTiming suite;
@@ -257,7 +353,10 @@ run_suite_reported(const std::vector<std::string> &names,
                                       start)
             .count();
     report().suite_wall_seconds += suite.wall_seconds;
-    for (const auto &run : results) {
+    for (const auto &slot : outcome.slots) {
+        if (!slot)
+            continue;
+        const core::ExperimentResult &run = *slot;
         BenchReport::RunTiming timing;
         timing.benchmark = run.workload;
         timing.wall_seconds = run.wall_seconds;
@@ -268,9 +367,45 @@ run_suite_reported(const std::vector<std::string> &names,
         ++(run.from_cache ? suite.loaded : suite.simulated);
         report().runs.push_back(std::move(timing));
     }
+    suite.failed = outcome.failures.size();
     report().suites.push_back(suite);
+
+    for (const core::SuiteJobFailure &failure : outcome.failures) {
+        report().failures.push_back(BenchReport::Failure{
+            "job", failure.workload, util::error_kind_name(failure.kind),
+            failure.message, failure.retries});
+        if (failure.kind != util::ErrorKind::Interrupted)
+            ++report().failed_jobs;
+    }
+    report().cache_health.accumulate(outcome.cache);
+    if (outcome.cache.degraded || outcome.cache.store_failures ||
+        outcome.cache.corrupt_entries || outcome.cache.lock_timeouts) {
+        report().failures.push_back(BenchReport::Failure{
+            "cache", config.cache_dir,
+            util::error_kind_name(util::ErrorKind::IoError),
+            "artifact cache degraded: " +
+                std::to_string(outcome.cache.store_failures) +
+                " store failures, " +
+                std::to_string(outcome.cache.corrupt_entries) +
+                " corrupt entries, " +
+                std::to_string(outcome.cache.lock_timeouts) +
+                " lock timeouts",
+            0});
+    }
+
+    if (outcome.interrupted) {
+        // Stop cleanly: persist what completed, mark the report, and
+        // exit with the conventional signal status.
+        report().interrupted = true;
+        flush_report(cli);
+        util::warn("interrupted; partial report flushed, exiting");
+        std::exit(util::interrupt_exit_code() != 0
+                      ? util::interrupt_exit_code()
+                      : 130);
+    }
+
     flush_report(cli);
-    return results;
+    return std::move(outcome).surviving();
 }
 
 /**
@@ -283,8 +418,17 @@ emit(const util::Table &table, const util::Cli &cli,
 {
     table.print();
     const std::string dir = cli.get("csv-dir");
-    if (!dir.empty())
-        table.write_csv(dir + "/" + slug + ".csv");
+    if (!dir.empty()) {
+        const std::string path = dir + "/" + slug + ".csv";
+        if (util::Status wrote = table.write_csv(path); !wrote.ok()) {
+            // The table already printed; losing one CSV mirror is a
+            // recorded degradation, not a reason to die.
+            util::warn("cannot mirror table to CSV: ", wrote.to_string());
+            report().failures.push_back(BenchReport::Failure{
+                "report", path, util::error_kind_name(wrote.kind()),
+                wrote.message(), 0});
+        }
+    }
 
     BenchReport::TableDump dump;
     dump.slug = slug;

@@ -72,5 +72,5 @@ main(int argc, char **argv)
                 "paper's L1 story.\n",
                 util::format_percent(saved / budget).c_str(),
                 100.0 * 32768.0 / (32768.0 + 1024.0 + 1024.0));
-    return 0;
+    return bench::finish(cli);
 }

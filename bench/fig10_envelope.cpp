@@ -66,5 +66,5 @@ main(int argc, char **argv)
     edges.add_row({"E_SA (sleep->active, incl. re-fetch CD)",
                    util::format_fixed(e.sleep_to_active, 1)});
     emit(edges, cli, "fig6_edges");
-    return 0;
+    return bench::finish(cli);
 }

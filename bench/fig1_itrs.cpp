@@ -29,5 +29,5 @@ main(int argc, char **argv)
     std::printf("paper reads this figure as: leakage grows from a small\n"
                 "fraction in 1999 toward parity with dynamic power by the\n"
                 "end of the decade, motivating the limit study.\n");
-    return 0;
+    return bench::finish(cli);
 }

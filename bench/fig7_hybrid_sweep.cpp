@@ -71,5 +71,5 @@ main(int argc, char **argv)
         "shrinks toward the 1057-cycle inflection point, and the gap is\n"
         "smaller for the data cache (its intervals are longer, so sleep\n"
         "does most of the work there).\n");
-    return 0;
+    return bench::finish(cli);
 }

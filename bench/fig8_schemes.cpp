@@ -97,5 +97,5 @@ main(int argc, char **argv)
                     icache ? "96.4%" : "99.1%",
                     icache ? "~91.1%" : "92.4%");
     }
-    return 0;
+    return bench::finish(cli);
 }

@@ -92,5 +92,5 @@ main(int argc, char **argv)
                     icache ? "next-line 23% (I-cache total 23%)"
                            : "next-line 16.3% + stride 5.1% = 21.4%");
     }
-    return 0;
+    return bench::finish(cli);
 }

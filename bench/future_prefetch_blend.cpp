@@ -79,5 +79,5 @@ main(int argc, char **argv)
         "sheds much power: long non-prefetchable intervals carry the\n"
         "energy, short ones carry the wakeup count — the in-between\n"
         "design point the paper anticipated.\n");
-    return 0;
+    return bench::finish(cli);
 }

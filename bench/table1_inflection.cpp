@@ -51,5 +51,5 @@ main(int argc, char **argv)
                 "per-line leakage grows while the induced-miss dynamic\n"
                 "energy shrinks (paper Section 4.2).  all rows match: %s\n",
                 all_match ? "yes" : "NO");
-    return all_match ? 0 : 1;
+    return all_match ? bench::finish(cli) : 1;
 }

@@ -94,5 +94,5 @@ main(int argc, char **argv)
         "drowsy-sleep point collapses from 103K to 1057 cycles); at\n"
         "180nm OPT-Drowsy beats OPT-Sleep, everywhere else sleep\n"
         "leads.\n");
-    return 0;
+    return bench::finish(cli);
 }

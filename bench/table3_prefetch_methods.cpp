@@ -59,5 +59,5 @@ main(int argc, char **argv)
     std::printf("paper: Prefetch-B approaches the bound within 5.3\n"
                 "points (I-cache) / 6.7 points (D-cache); the A-B gap is\n"
                 "the non-prefetchable intervals beyond 1057 cycles.\n");
-    return 0;
+    return bench::finish(cli);
 }

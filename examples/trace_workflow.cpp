@@ -70,6 +70,8 @@ main(int argc, char **argv)
     Cycle end_cycle = 0;
     {
         trace::TraceWriter writer(path);
+        if (!writer.ok())
+            util::fatal(writer.status().to_string());
         TraceCapture capture(&writer);
         sim::Hierarchy hierarchy{sim::HierarchyConfig{}};
         workload::WorkloadPtr bench =
@@ -78,6 +80,8 @@ main(int argc, char **argv)
                               &capture);
         const auto stats = core.run(cli.get_u64("instructions"));
         end_cycle = stats.cycles;
+        if (util::Status st = writer.flush(); !st.ok())
+            util::fatal(st.to_string());
         std::printf("captured %llu data accesses over %llu cycles "
                     "into %s\n",
                     static_cast<unsigned long long>(writer.count()),
@@ -95,6 +99,8 @@ main(int argc, char **argv)
     interval::IntervalCollector collector(cache.num_frames(), &set);
 
     trace::TraceReader reader(path);
+    if (!reader.ok())
+        util::fatal(reader.status().to_string());
     trace::TimedAccess rec;
     while (reader.next(rec)) {
         const sim::AccessResult r = cache.access(rec.addr);

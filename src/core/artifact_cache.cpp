@@ -5,6 +5,7 @@
 
 #include "core/artifact_cache.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -16,8 +17,10 @@
 
 #include "interval/interval_histogram.hpp"
 #include "util/binary_io.hpp"
+#include "util/fault_injection.hpp"
 #include "util/fingerprint.hpp"
 #include "util/logging.hpp"
+#include "util/random.hpp"
 
 namespace leakbound::core {
 
@@ -89,6 +92,23 @@ file_age(const std::string &path)
         std::filesystem::file_time_type::clock::now() - mtime;
     return std::chrono::duration_cast<std::chrono::milliseconds>(age);
 }
+
+/**
+ * Removes the lock file on scope exit, so a simulate() that throws
+ * while this process owns the entry lock cannot leave the lock behind
+ * to stall every other process until the stale-break age.
+ */
+class LockGuard
+{
+  public:
+    explicit LockGuard(std::string path) : path_(std::move(path)) {}
+    ~LockGuard() { std::remove(path_.c_str()); }
+    LockGuard(const LockGuard &) = delete;
+    LockGuard &operator=(const LockGuard &) = delete;
+
+  private:
+    std::string path_;
+};
 
 } // namespace
 
@@ -229,6 +249,8 @@ ArtifactCache::lock_path(std::uint64_t key) const
 bool
 ArtifactCache::try_lock(const std::string &path) const
 {
+    if (util::fault::should_fail(util::fault::Site::Lock, path))
+        return false;
     const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
     if (fd < 0)
         return false;
@@ -245,10 +267,20 @@ ArtifactCache::try_load(std::uint64_t key) const
 {
     const std::string path = entry_path(key);
     std::string bytes;
-    if (!util::read_file_bytes(path, bytes))
+    const util::Status read = util::read_file_bytes(path, bytes);
+    if (!read.ok()) {
+        // A missing entry is the normal cold-cache case; anything else
+        // (unreadable file) is an entry we cannot use — count it so the
+        // report shows why the cache ran cold.
+        if (read.kind() != util::ErrorKind::NotFound) {
+            corrupt_entries_.fetch_add(1, std::memory_order_relaxed);
+            util::warn("cannot read cache entry: ", read.to_string());
+        }
         return std::nullopt;
+    }
 
-    auto reject = [&path]() -> std::optional<ExperimentResult> {
+    auto reject = [&path, this]() -> std::optional<ExperimentResult> {
+        corrupt_entries_.fetch_add(1, std::memory_order_relaxed);
         util::warn("discarding corrupt/mismatched cache entry: ", path);
         std::remove(path.c_str());
         return std::nullopt;
@@ -283,14 +315,48 @@ ArtifactCache::try_load(std::uint64_t key) const
     return result;
 }
 
-bool
+void
+ArtifactCache::demote(const std::string &why) const
+{
+    if (degraded_.exchange(true, std::memory_order_relaxed))
+        return; // already demoted; warn only once per cache
+    util::warn("artifact cache demoted to pass-through (", why,
+               "); results stay correct, later runs lose the warm-cache "
+               "speedup");
+}
+
+CacheHealth
+ArtifactCache::health() const
+{
+    CacheHealth h;
+    h.store_failures = store_failures_.load(std::memory_order_relaxed);
+    h.corrupt_entries = corrupt_entries_.load(std::memory_order_relaxed);
+    h.lock_breaks = lock_breaks_.load(std::memory_order_relaxed);
+    h.lock_timeouts = lock_timeouts_.load(std::memory_order_relaxed);
+    h.lock_retries = lock_retries_.load(std::memory_order_relaxed);
+    h.degraded_jobs = degraded_jobs_.load(std::memory_order_relaxed);
+    h.degraded = degraded_.load(std::memory_order_relaxed);
+    return h;
+}
+
+util::Status
 ArtifactCache::store(std::uint64_t key, const ExperimentResult &result) const
 {
+    auto record_failure = [this](util::Status status) {
+        const std::uint64_t failures =
+            store_failures_.fetch_add(1, std::memory_order_relaxed) + 1;
+        util::warn("cannot write cache entry: ", status.to_string());
+        if (failures >= kMaxStoreFailures)
+            demote("repeated store failures");
+        return status;
+    };
+
     std::error_code ec;
     std::filesystem::create_directories(dir_, ec);
     if (ec) {
-        util::warn("cannot create cache dir ", dir_, ": ", ec.message());
-        return false;
+        return record_failure(util::Status(
+            util::ErrorKind::IoError,
+            "cannot create cache dir " + dir_ + ": " + ec.message()));
     }
 
     const std::string payload = serialize_result(result);
@@ -306,18 +372,23 @@ ArtifactCache::store(std::uint64_t key, const ExperimentResult &result) const
     tail.put_u64(util::fnv1a(payload.data(), payload.size()));
     bytes += tail.take();
 
-    if (!util::write_file_atomic(entry_path(key), bytes,
-                                 /*best_effort=*/true)) {
-        util::warn("cannot write cache entry: ", entry_path(key));
-        return false;
-    }
-    return true;
+    util::Status wrote = util::write_file_atomic(entry_path(key), bytes);
+    if (!wrote.ok())
+        return record_failure(std::move(wrote));
+    return util::Status();
 }
 
 ExperimentResult
 ArtifactCache::load_or_run(std::uint64_t key, const std::string &workload,
                            const std::function<ExperimentResult()> &simulate)
 {
+    if (degraded()) {
+        // The cache already proved unusable this run; don't keep
+        // hammering a broken directory, just do the work.
+        degraded_jobs_.fetch_add(1, std::memory_order_relaxed);
+        return simulate();
+    }
+
     const auto load_start = std::chrono::steady_clock::now();
     if (auto hit = try_load(key)) {
         hit->from_cache = true;
@@ -335,20 +406,42 @@ ArtifactCache::load_or_run(std::uint64_t key, const std::string &workload,
     const std::string lock = lock_path(key);
     std::error_code ec;
     std::filesystem::create_directories(dir_, ec); // lock needs the dir
+    if (ec) {
+        demote("cannot create cache dir " + dir_ + ": " + ec.message());
+        degraded_jobs_.fetch_add(1, std::memory_order_relaxed);
+        return simulate();
+    }
+
+    // Capped exponential backoff with deterministic jitter: the jitter
+    // stream is seeded from the entry key, so a given contention
+    // pattern replays identically (and two waiters on the same entry
+    // still decorrelate via their different acquisition interleaving).
+    util::Rng jitter(key ^ 0xcac4e10cULL);
+    auto backoff = options_.backoff_initial;
     const auto wait_start = std::chrono::steady_clock::now();
     while (!try_lock(lock)) {
-        if (file_age(lock) > options_.stale_age) {
+        const auto lock_age = file_age(lock);
+        if (lock_age != std::chrono::milliseconds::max() &&
+            lock_age > options_.stale_age) {
+            lock_breaks_.fetch_add(1, std::memory_order_relaxed);
             util::warn("breaking stale cache lock: ", lock);
             std::remove(lock.c_str());
             continue;
         }
         if (std::chrono::steady_clock::now() - wait_start >
             options_.wait_timeout) {
+            lock_timeouts_.fetch_add(1, std::memory_order_relaxed);
             util::warn("timed out waiting for cache lock ", lock,
                        "; simulating ", workload, " without caching");
             return simulate();
         }
-        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        lock_retries_.fetch_add(1, std::memory_order_relaxed);
+        const auto sleep =
+            backoff + std::chrono::milliseconds(jitter.next_below(
+                          static_cast<std::uint64_t>(backoff.count()) / 2 +
+                          1));
+        std::this_thread::sleep_for(sleep);
+        backoff = std::min(backoff * 2, options_.backoff_cap);
         // The lock holder may have published while we slept.
         if (auto hit = try_load(key)) {
             hit->from_cache = true;
@@ -362,19 +455,18 @@ ArtifactCache::load_or_run(std::uint64_t key, const std::string &workload,
         }
     }
 
-    // We own the lock.  Re-probe once (the previous holder may have
-    // published between our miss and the acquire), then simulate.
-    ExperimentResult result = [&] {
-        if (auto hit = try_load(key)) {
-            hit->from_cache = true;
-            return std::move(*hit);
-        }
-        ExperimentResult fresh = simulate();
-        store(key, fresh);
-        return fresh;
-    }();
-    std::remove(lock.c_str());
-    return result;
+    // We own the lock; the guard releases it even if simulate()
+    // throws, so a dead job can never wedge sibling processes for the
+    // full stale-break age.  Re-probe once (the previous holder may
+    // have published between our miss and the acquire), then simulate.
+    LockGuard guard(lock);
+    if (auto hit = try_load(key)) {
+        hit->from_cache = true;
+        return std::move(*hit);
+    }
+    ExperimentResult fresh = simulate();
+    (void)store(key, fresh); // counted + demotes internally on failure
+    return fresh;
 }
 
 } // namespace leakbound::core

@@ -26,17 +26,28 @@
  * version, fingerprint, size, checksum, or a bounds-check inside the
  * payload — discards the entry and re-simulates; a cache entry is
  * never trusted.
+ *
+ * Degradation ladder (see CacheHealth): the cache accelerates, it is
+ * never load-bearing.  An unwritable directory demotes the whole cache
+ * to pass-through (simulate, don't store) with a one-time warning;
+ * repeated store failures do the same; a contended lock backs off with
+ * capped exponential delay and deterministic jitter, and on timeout
+ * the one job simulates without caching.  Every rung is counted and
+ * surfaced via health().
  */
 
 #ifndef LEAKBOUND_CORE_ARTIFACT_CACHE_HPP
 #define LEAKBOUND_CORE_ARTIFACT_CACHE_HPP
 
+#include <atomic>
 #include <chrono>
 #include <functional>
 #include <optional>
 #include <string>
 
+#include "core/cache_health.hpp"
 #include "core/experiment.hpp"
+#include "util/status.hpp"
 
 namespace leakbound::core {
 
@@ -95,7 +106,14 @@ class ArtifactCache
             std::chrono::seconds(60);
         /** Locks older than this are presumed dead and broken. */
         std::chrono::milliseconds stale_age = std::chrono::seconds(120);
+        /** First backoff sleep while waiting on a held lock. */
+        std::chrono::milliseconds backoff_initial{2};
+        /** Backoff ceiling; doubling stops here. */
+        std::chrono::milliseconds backoff_cap{80};
     };
+
+    /** Store failures tolerated before the cache demotes itself. */
+    static constexpr std::uint64_t kMaxStoreFailures = 3;
 
     /** @param dir created on first store if missing. */
     explicit ArtifactCache(std::string dir);
@@ -108,10 +126,12 @@ class ArtifactCache
      *
      * Miss protocol: acquire `<entry>.lock` (O_CREAT|O_EXCL), run
      * @p simulate, publish tmp-file + rename, release.  If another
-     * process holds the lock, poll until its entry appears (then load
-     * it) or the lock goes stale/times out (then simulate locally
-     * without storing).  Either way the caller gets a correct result;
-     * the cache only ever changes *where* it comes from.
+     * process holds the lock, back off exponentially (capped, with
+     * deterministic per-key jitter) until its entry appears (then load
+     * it) or the lock goes stale (break it) or the wait times out
+     * (then simulate locally without storing).  Either way the caller
+     * gets a correct result; the cache only ever changes *where* it
+     * comes from.  The lock is released even when @p simulate throws.
      *
      * @param workload for log messages only.
      */
@@ -122,8 +142,13 @@ class ArtifactCache
     /** Probe for @p key without simulating (corrupt entries discard). */
     std::optional<ExperimentResult> try_load(std::uint64_t key) const;
 
-    /** Serialize + checksum + atomically publish @p result under @p key. */
-    bool store(std::uint64_t key, const ExperimentResult &result) const;
+    /**
+     * Serialize + checksum + atomically publish @p result under
+     * @p key.  A failed store is counted, and kMaxStoreFailures of
+     * them demote the cache to pass-through for the rest of the run.
+     */
+    util::Status store(std::uint64_t key,
+                       const ExperimentResult &result) const;
 
     /** Absolute-ish path of @p key's entry file. */
     std::string entry_path(std::uint64_t key) const;
@@ -131,14 +156,36 @@ class ArtifactCache
     /** The directory this cache persists into. */
     const std::string &dir() const { return dir_; }
 
+    /** Whether the cache has demoted itself to pass-through. */
+    bool degraded() const
+    {
+        return degraded_.load(std::memory_order_relaxed);
+    }
+
+    /** Snapshot the accumulated health counters. */
+    CacheHealth health() const;
+
   private:
     std::string lock_path(std::uint64_t key) const;
 
     /** Try to create the lock file; true when this process owns it. */
     bool try_lock(const std::string &path) const;
 
+    /** Demote to pass-through, warning once per cache. */
+    void demote(const std::string &why) const;
+
     std::string dir_;
     LockOptions options_;
+
+    // Health accounting; mutable because a const cache (shared across
+    // suite threads) still records the trouble it runs into.
+    mutable std::atomic<bool> degraded_{false};
+    mutable std::atomic<std::uint64_t> store_failures_{0};
+    mutable std::atomic<std::uint64_t> corrupt_entries_{0};
+    mutable std::atomic<std::uint64_t> lock_breaks_{0};
+    mutable std::atomic<std::uint64_t> lock_timeouts_{0};
+    mutable std::atomic<std::uint64_t> lock_retries_{0};
+    mutable std::atomic<std::uint64_t> degraded_jobs_{0};
 };
 
 } // namespace leakbound::core

@@ -16,6 +16,8 @@
 #include "core/policies.hpp"
 #include "interval/collector.hpp"
 #include "prefetch/next_line.hpp"
+#include "util/fault_injection.hpp"
+#include "util/interrupt.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/spec_suite.hpp"
@@ -225,14 +227,50 @@ run_experiment(workload::Workload &workload, const ExperimentConfig &config)
 }
 
 std::vector<ExperimentResult>
-run_suite(const std::vector<std::string> &names,
-          const ExperimentConfig &config)
+SuiteOutcome::surviving() &&
+{
+    std::vector<ExperimentResult> results;
+    results.reserve(slots.size());
+    for (auto &slot : slots) {
+        if (slot)
+            results.push_back(std::move(*slot));
+    }
+    return results;
+}
+
+namespace {
+
+/** What one isolated job attempt chain produced. */
+struct JobOutcome
+{
+    std::optional<ExperimentResult> result;
+    util::ErrorKind kind = util::ErrorKind::None;
+    std::string message;
+    unsigned retries = 0;
+};
+
+/** Failure kinds worth a retry (transient by nature). */
+bool
+retryable(util::ErrorKind kind)
+{
+    return kind == util::ErrorKind::IoError ||
+           kind == util::ErrorKind::LockTimeout ||
+           kind == util::ErrorKind::FaultInjected;
+}
+
+} // namespace
+
+SuiteOutcome
+run_suite_isolated(const std::vector<std::string> &names,
+                   const ExperimentConfig &config,
+                   const SuiteJobHook &before_job)
 {
     const unsigned jobs =
         std::min<std::size_t>(util::ThreadPool::effective_jobs(config.jobs),
                               std::max<std::size_t>(names.size(), 1));
-    std::vector<ExperimentResult> results;
-    results.reserve(names.size());
+
+    SuiteOutcome outcome;
+    outcome.slots.resize(names.size());
 
     // The artifact cache turns repeat replays of a (workload, config)
     // pair into loads; keep_raw runs bypass it because raw intervals
@@ -258,40 +296,115 @@ run_suite(const std::vector<std::string> &names,
             });
     };
 
-    if (jobs <= 1) {
-        for (const std::string &name : names) {
-            workload::WorkloadPtr w = workload::make_benchmark(name);
-            util::inform("simulating ", name, " (",
-                         config.instructions, " instructions)");
-            results.push_back(run_one(*w));
+    // One isolated job: every failure mode funnels into a JobOutcome —
+    // never an escaping exception — so the thread-pool boundary stays
+    // quiet and sibling jobs are untouched.  Transient failures retry
+    // with a fresh workload instance (the previous attempt may have
+    // half-consumed it).
+    auto attempt_job = [&run_one, &before_job,
+                        &config](const std::string &name) -> JobOutcome {
+        JobOutcome out;
+        for (unsigned attempt = 0;; ++attempt) {
+            if (util::interrupt_requested()) {
+                out.kind = util::ErrorKind::Interrupted;
+                out.message = "interrupted before " + name;
+                out.retries = attempt;
+                return out;
+            }
+            try {
+                if (before_job)
+                    before_job(name);
+                if (util::fault::should_fail(util::fault::Site::Simulate,
+                                             name)) {
+                    throw util::StatusError(util::Status(
+                        util::ErrorKind::FaultInjected,
+                        "injected simulation fault: " + name));
+                }
+                workload::WorkloadPtr w = workload::make_benchmark(name);
+                util::inform("simulating ", name, " (",
+                             config.instructions, " instructions)");
+                out.result = run_one(*w);
+                out.retries = attempt;
+                return out;
+            } catch (const util::StatusError &e) {
+                out.kind = e.status().kind();
+                out.message = e.status().message();
+            } catch (const std::exception &e) {
+                out.kind = util::ErrorKind::Internal;
+                out.message = e.what();
+            }
+            if (!retryable(out.kind) || attempt >= kMaxJobRetries) {
+                out.retries = attempt;
+                return out;
+            }
+            util::warn("suite job '", name, "' failed (", out.message,
+                       "); retry ", attempt + 1, "/", kMaxJobRetries);
         }
-        return results;
+    };
+
+    std::vector<JobOutcome> job_outcomes(names.size());
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < names.size(); ++i)
+            job_outcomes[i] = attempt_job(names[i]);
+    } else {
+        // Collecting futures in submission order makes the merge
+        // deterministic: the output is bit-identical to the serial
+        // loop for any jobs value.  Cache probes run inside the
+        // workers too — distinct benchmarks map to distinct entries,
+        // so the per-entry lock files never contend within one suite.
+        // Names are validated on this thread first: an unknown
+        // benchmark is a user error (fatal) and should die before any
+        // worker spawns, exactly like the serial path.
+        for (const std::string &name : names) {
+            if (!workload::is_benchmark(name))
+                (void)workload::make_benchmark(name); // fatal()s
+        }
+        util::inform("simulating ", names.size(), " benchmarks on ",
+                     jobs, " threads (", config.instructions,
+                     " instructions each)");
+        util::ThreadPool pool(jobs);
+        std::vector<std::future<JobOutcome>> futures;
+        futures.reserve(names.size());
+        for (const std::string &name : names) {
+            futures.push_back(
+                pool.submit([&attempt_job, &name] {
+                    return attempt_job(name);
+                }));
+        }
+        for (std::size_t i = 0; i < futures.size(); ++i)
+            job_outcomes[i] = futures[i].get();
     }
 
-    // Workloads are built on this thread (make_benchmark fatal()s on
-    // unknown names; better to die before spawning workers), then each
-    // simulation runs into its own collectors.  Collecting futures in
-    // submission order makes the merge deterministic: the output is
-    // bit-identical to the serial loop for any jobs value.  Cache
-    // probes run inside the workers too — distinct benchmarks map to
-    // distinct entries, so the per-entry lock files never contend
-    // within one suite.
-    util::inform("simulating ", names.size(), " benchmarks on ", jobs,
-                 " threads (", config.instructions,
-                 " instructions each)");
-    util::ThreadPool pool(jobs);
-    std::vector<std::future<ExperimentResult>> futures;
-    futures.reserve(names.size());
-    for (const std::string &name : names) {
-        workload::WorkloadPtr w = workload::make_benchmark(name);
-        futures.push_back(pool.submit(
-            [workload = std::move(w), &run_one]() mutable {
-                return run_one(*workload);
-            }));
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        JobOutcome &out = job_outcomes[i];
+        if (out.result) {
+            outcome.slots[i] = std::move(out.result);
+            continue;
+        }
+        if (out.kind == util::ErrorKind::Interrupted)
+            outcome.interrupted = true;
+        outcome.failures.push_back(SuiteJobFailure{
+            i, names[i], out.kind, std::move(out.message), out.retries});
     }
-    for (auto &future : futures)
-        results.push_back(future.get()); // rethrows worker exceptions
-    return results;
+    if (util::interrupt_requested())
+        outcome.interrupted = true;
+    if (cache)
+        outcome.cache = cache->health();
+    return outcome;
+}
+
+std::vector<ExperimentResult>
+run_suite(const std::vector<std::string> &names,
+          const ExperimentConfig &config)
+{
+    SuiteOutcome outcome = run_suite_isolated(names, config);
+    if (!outcome.failures.empty()) {
+        const SuiteJobFailure &first = outcome.failures.front();
+        throw util::StatusError(util::Status(
+            first.kind,
+            "suite job '" + first.workload + "' failed: " + first.message));
+    }
+    return std::move(outcome).surviving();
 }
 
 } // namespace leakbound::core

@@ -9,14 +9,17 @@
 #ifndef LEAKBOUND_CORE_EXPERIMENT_HPP
 #define LEAKBOUND_CORE_EXPERIMENT_HPP
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "core/cache_health.hpp"
 #include "cpu/inorder_core.hpp"
 #include "interval/interval_histogram.hpp"
 #include "prefetch/stride.hpp"
 #include "sim/hierarchy.hpp"
+#include "util/status.hpp"
 #include "workload/workload.hpp"
 
 namespace leakbound::core {
@@ -126,14 +129,78 @@ std::vector<Cycles> standard_extra_edges();
 ExperimentResult run_experiment(workload::Workload &workload,
                                 const ExperimentConfig &config);
 
+/** How one suite job died (one entry per failed (workload) job). */
+struct SuiteJobFailure
+{
+    /** Index of the job in the caller's names order. */
+    std::size_t index = 0;
+    /** The benchmark the job was running. */
+    std::string workload;
+    /** Error taxonomy bucket (io_error, fault_injected, internal...). */
+    util::ErrorKind kind = util::ErrorKind::Internal;
+    /** Human-readable detail. */
+    std::string message;
+    /** Retries burned before giving up (0 = failed on first try). */
+    unsigned retries = 0;
+};
+
+/** Everything a fault-isolated suite run produced. */
+struct SuiteOutcome
+{
+    /**
+     * One slot per requested benchmark, in names order; nullopt where
+     * that job failed.  Surviving slots are byte-identical to what a
+     * fault-free run produces (failures never contaminate siblings).
+     */
+    std::vector<std::optional<ExperimentResult>> slots;
+    /** One entry per empty slot, in names order. */
+    std::vector<SuiteJobFailure> failures;
+    /** Artifact-cache trouble encountered during this run. */
+    CacheHealth cache;
+    /** Whether SIGINT/SIGTERM cut the run short. */
+    bool interrupted = false;
+
+    /** The non-failed results in names order (consumes the slots). */
+    std::vector<ExperimentResult> surviving() &&;
+};
+
+/**
+ * Test/instrumentation seam: called on the worker thread right before
+ * each job simulates, with the benchmark name.  A throwing hook makes
+ * that job fail exactly like a mid-simulation fault, which is how the
+ * isolation tests exercise the failure path in every build (the fault
+ * injector only exists in chaos builds).
+ */
+using SuiteJobHook = std::function<void(const std::string &)>;
+
+/** Retries a failed suite job gets when its error kind is transient. */
+inline constexpr unsigned kMaxJobRetries = 2;
+
+/**
+ * Fault-isolated run_suite: one job failing (exception, injected
+ * fault, interrupt) is recorded in the outcome instead of killing the
+ * run, and every sibling job still completes and lands in its slot.
+ * Transient failures (io_error, lock_timeout, fault_injected) retry up
+ * to kMaxJobRetries times before being recorded.  After SIGINT or
+ * SIGTERM no new job starts; jobs not yet dispatched are recorded as
+ * `interrupted` failures and the outcome is flagged.
+ */
+SuiteOutcome
+run_suite_isolated(const std::vector<std::string> &names,
+                   const ExperimentConfig &config,
+                   const SuiteJobHook &before_job = {});
+
 /**
  * Run a list of benchmarks from the suite (workload::make_benchmark).
  *
  * With config.jobs != 1 the benchmarks run concurrently on a
  * util::ThreadPool — each into its own collector set — and the result
  * vector is assembled in @p names order, so callers observe exactly
- * the serial output regardless of the worker count.  A failure inside
- * any worker propagates to the caller.
+ * the serial output regardless of the worker count.
+ *
+ * All-or-nothing wrapper over run_suite_isolated(): the first job
+ * failure is rethrown as util::StatusError.  Callers that want partial
+ * results use run_suite_isolated() directly.
  */
 std::vector<ExperimentResult>
 run_suite(const std::vector<std::string> &names,

@@ -5,27 +5,44 @@
 
 #include "trace/trace_io.hpp"
 
+#include <cerrno>
 #include <cstring>
 
-#include "util/logging.hpp"
+#include "util/fault_injection.hpp"
 
 namespace leakbound::trace {
 
+using util::ErrorKind;
+using util::Status;
+namespace fault = util::fault;
+
 TraceWriter::TraceWriter(const std::string &path)
-    : file_(std::fopen(path.c_str(), "wb"))
+    : file_(fault::should_fail(fault::Site::OpenWrite, path)
+                ? nullptr
+                : std::fopen(path.c_str(), "wb"))
 {
-    if (!file_)
-        util::fatal("cannot create trace file: ", path);
+    if (!file_) {
+        status_ = Status(ErrorKind::IoError,
+                         "cannot create trace file: " + path);
+        return;
+    }
     if (std::fwrite(kTraceMagic, 1, sizeof(kTraceMagic), file_) !=
-        sizeof(kTraceMagic))
-        util::fatal("cannot write trace header: ", path);
+        sizeof(kTraceMagic)) {
+        status_ = Status(ErrorKind::IoError,
+                         "cannot write trace header: " + path);
+        std::fclose(file_);
+        file_ = nullptr;
+        return;
+    }
     buffer_.reserve(kBlockRecords * kTraceRecordBytes);
 }
 
 TraceWriter::~TraceWriter()
 {
     if (file_) {
-        flush();
+        // Best-effort: a destructor cannot report, but the error was
+        // already latched if a caller cares to check status() first.
+        (void)flush();
         std::fclose(file_);
     }
 }
@@ -33,34 +50,60 @@ TraceWriter::~TraceWriter()
 void
 TraceWriter::write(const TimedAccess &rec)
 {
+    if (!ok())
+        return;
     unsigned char encoded[kTraceRecordBytes];
     encode_record(rec, encoded);
     buffer_.insert(buffer_.end(), encoded, encoded + kTraceRecordBytes);
     ++count_;
     if (buffer_.size() >= kBlockRecords * kTraceRecordBytes)
-        flush();
+        (void)flush();
 }
 
-void
+util::Status
 TraceWriter::flush()
 {
+    if (!ok())
+        return status_;
     if (buffer_.empty())
-        return;
-    if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
-        buffer_.size())
-        util::fatal("short write to trace file");
+        return Status();
+    bool wrote = std::fwrite(buffer_.data(), 1, buffer_.size(), file_) ==
+                 buffer_.size();
+    if (wrote && fault::should_fail(fault::Site::ShortWrite))
+        wrote = false;
+    if (!wrote) {
+        status_ = Status(ErrorKind::IoError, "short write to trace file");
+        return status_;
+    }
     buffer_.clear();
+    return Status();
 }
 
 TraceReader::TraceReader(const std::string &path)
-    : file_(std::fopen(path.c_str(), "rb"))
+    : file_(nullptr)
 {
-    if (!file_)
-        util::fatal("cannot open trace file: ", path);
+    if (fault::should_fail(fault::Site::OpenRead, path)) {
+        status_ = Status(ErrorKind::IoError,
+                         "cannot open trace file: " + path);
+        return;
+    }
+    file_ = std::fopen(path.c_str(), "rb");
+    if (!file_) {
+        status_ = errno == ENOENT
+                      ? Status(ErrorKind::NotFound,
+                               "no such trace file: " + path)
+                      : Status(ErrorKind::IoError,
+                               "cannot open trace file: " + path);
+        return;
+    }
     char magic[sizeof(kTraceMagic)];
     if (std::fread(magic, 1, sizeof(magic), file_) != sizeof(magic) ||
         std::memcmp(magic, kTraceMagic, sizeof(kTraceMagic)) != 0) {
-        util::fatal("not a leakbound trace file: ", path);
+        status_ = Status(ErrorKind::CorruptData,
+                         "not a leakbound trace file: " + path);
+        std::fclose(file_);
+        file_ = nullptr;
+        return;
     }
     buffer_.resize(kBlockRecords * kTraceRecordBytes);
 }
@@ -91,6 +134,8 @@ TraceReader::refill()
 bool
 TraceReader::next(TimedAccess &rec)
 {
+    if (!ok())
+        return false;
     if (avail_ - pos_ < kTraceRecordBytes && !refill())
         return false;
     decode_record(buffer_.data() + pos_, rec);

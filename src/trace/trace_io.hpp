@@ -13,6 +13,12 @@
  * per block instead of one per 32-byte record, which is the difference
  * between syscall-bound and memcpy-bound streaming.  The on-disk
  * format is byte-identical to the original record-at-a-time code.
+ *
+ * Error model: constructors never kill the process.  An unopenable
+ * path or a bad header latches status() (NotFound / IoError /
+ * CorruptData), subsequent operations become no-ops, and the caller
+ * decides whether the failure is fatal (CLI tools) or just one failed
+ * job in a suite (the isolated runner).
  */
 
 #ifndef LEAKBOUND_TRACE_TRACE_IO_HPP
@@ -24,6 +30,7 @@
 
 #include "trace/record.hpp"
 #include "trace/record_codec.hpp"
+#include "util/status.hpp"
 
 namespace leakbound::trace {
 
@@ -34,24 +41,34 @@ inline constexpr std::size_t kBlockRecords = 2048;
 class TraceWriter
 {
   public:
-    /** Open @p path; fatal() if it cannot be created. */
+    /** Open @p path; latches status() if it cannot be created. */
     explicit TraceWriter(const std::string &path);
     ~TraceWriter();
 
     TraceWriter(const TraceWriter &) = delete;
     TraceWriter &operator=(const TraceWriter &) = delete;
 
-    /** Append one record (buffered; see flush()). */
+    /** Whether the writer is usable (opened and no write error yet). */
+    bool ok() const { return status_.ok(); }
+
+    /** The latched error, if any. */
+    const util::Status &status() const { return status_; }
+
+    /** Append one record (buffered; no-op once status() is bad). */
     void write(const TimedAccess &rec);
 
-    /** Push buffered records to the file; fatal() on short writes. */
-    void flush();
+    /**
+     * Push buffered records to the file.  A short write latches and
+     * returns an IoError Status; further writes become no-ops.
+     */
+    util::Status flush();
 
     /** Records written so far. */
     std::uint64_t count() const { return count_; }
 
   private:
     std::FILE *file_;
+    util::Status status_;
     std::uint64_t count_ = 0;
     std::vector<unsigned char> buffer_; ///< encoded, not yet written
 };
@@ -60,17 +77,27 @@ class TraceWriter
 class TraceReader
 {
   public:
-    /** Open @p path; fatal() on missing file or bad magic. */
+    /**
+     * Open @p path; latches status() on a missing file (NotFound),
+     * unreadable file (IoError), or bad magic (CorruptData).
+     */
     explicit TraceReader(const std::string &path);
     ~TraceReader();
 
     TraceReader(const TraceReader &) = delete;
     TraceReader &operator=(const TraceReader &) = delete;
 
+    /** Whether the reader opened and validated the header. */
+    bool ok() const { return status_.ok(); }
+
+    /** The latched error, if any. */
+    const util::Status &status() const { return status_; }
+
     /**
      * Read the next record; false at end of file (a trailing partial
      * record — a truncated file — also reads as end of file, matching
-     * the historical record-at-a-time behaviour).
+     * the historical record-at-a-time behaviour) and false always when
+     * status() is bad — check status() to tell the cases apart.
      */
     bool next(TimedAccess &rec);
 
@@ -82,6 +109,7 @@ class TraceReader
     bool refill();
 
     std::FILE *file_;
+    util::Status status_;
     std::uint64_t count_ = 0;
     std::vector<unsigned char> buffer_; ///< raw bytes read ahead
     std::size_t pos_ = 0;               ///< consumed bytes in buffer_

@@ -5,12 +5,13 @@
 
 #include "util/binary_io.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 
 #include <unistd.h>
 
-#include "util/logging.hpp"
+#include "util/fault_injection.hpp"
 
 namespace leakbound::util {
 
@@ -137,48 +138,72 @@ BinaryReader::get_u64_vector()
     return v;
 }
 
-bool
-write_file_atomic(const std::string &path, const std::string &contents,
-                  bool best_effort)
+Status
+write_file_atomic(const std::string &path, const std::string &contents)
 {
     const std::string tmp =
         path + ".tmp." + std::to_string(::getpid());
-    std::FILE *file = std::fopen(tmp.c_str(), "wb");
+    std::FILE *file = fault::should_fail(fault::Site::OpenWrite, path)
+                          ? nullptr
+                          : std::fopen(tmp.c_str(), "wb");
     if (!file) {
-        if (best_effort)
-            return false;
-        fatal("cannot create file: ", tmp);
+        return Status(ErrorKind::IoError,
+                      "cannot create file: " + tmp);
     }
-    const bool wrote =
+    bool wrote =
         std::fwrite(contents.data(), 1, contents.size(), file) ==
         contents.size();
+    if (wrote && fault::should_fail(fault::Site::ShortWrite, path))
+        wrote = false;
     // Flush user buffers and the kernel page cache before the rename
     // publishes the file, so a crash never leaves a short entry under
     // the final name.
-    const bool synced = wrote && std::fflush(file) == 0 &&
-                        ::fsync(::fileno(file)) == 0;
+    bool synced = wrote && std::fflush(file) == 0 &&
+                  ::fsync(::fileno(file)) == 0;
+    if (synced && fault::should_fail(fault::Site::Enospc, path))
+        synced = false;
     std::fclose(file);
     if (!synced) {
         std::remove(tmp.c_str());
-        if (best_effort)
-            return false;
-        fatal("short write to ", tmp);
+        return Status(ErrorKind::IoError,
+                      std::string(wrote ? "cannot flush " : "short write to ") +
+                          tmp);
+    }
+    if (fault::should_fail(fault::Site::RenameTorn, path)) {
+        // Model a torn publish: half the bytes land under the final
+        // name, the temporary is gone, and the caller sees success.
+        // Only content verification (the cache's length/checksum
+        // checks) can catch this later — which is exactly the failure
+        // mode this site exists to exercise.
+        std::FILE *torn = std::fopen(path.c_str(), "wb");
+        if (torn) {
+            std::fwrite(contents.data(), 1, contents.size() / 2, torn);
+            std::fclose(torn);
+        }
+        std::remove(tmp.c_str());
+        return Status();
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         std::remove(tmp.c_str());
-        if (best_effort)
-            return false;
-        fatal("cannot rename ", tmp, " to ", path);
+        return Status(ErrorKind::IoError,
+                      "cannot rename " + tmp + " to " + path);
     }
-    return true;
+    return Status();
 }
 
-bool
+Status
 read_file_bytes(const std::string &path, std::string &out)
 {
+    if (fault::should_fail(fault::Site::OpenRead, path))
+        return Status(ErrorKind::IoError, "cannot open " + path);
     std::FILE *file = std::fopen(path.c_str(), "rb");
-    if (!file)
-        return false;
+    if (!file) {
+        if (errno == ENOENT) {
+            return Status(ErrorKind::NotFound,
+                          "no such file: " + path);
+        }
+        return Status(ErrorKind::IoError, "cannot open " + path);
+    }
     out.clear();
     char buf[1 << 16];
     std::size_t n;
@@ -186,7 +211,9 @@ read_file_bytes(const std::string &path, std::string &out)
         out.append(buf, n);
     const bool ok = std::ferror(file) == 0;
     std::fclose(file);
-    return ok;
+    if (!ok)
+        return Status(ErrorKind::IoError, "read error on " + path);
+    return Status();
 }
 
 } // namespace leakbound::util

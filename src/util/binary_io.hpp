@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "util/status.hpp"
+
 namespace leakbound::util {
 
 /** Append-only little-endian byte buffer builder. */
@@ -110,19 +112,22 @@ class BinaryReader
 /**
  * Write @p contents to @p path atomically: write `<path>.tmp.<pid>`,
  * fsync, then rename over @p path.  Readers of @p path therefore see
- * either the old or the new contents, never a torn mix.  fatal() if
- * the file cannot be created; @return false (after cleaning up the
- * temporary) on write/rename failure when @p best_effort is set.
+ * either the old or the new contents, never a torn mix.  Never fatal:
+ * the temporary is cleaned up and an ErrorKind::IoError Status
+ * describes what failed, so callers choose between degrading (cache
+ * store), recording the failure (report flush), and dying (CLI-level
+ * callers that cannot proceed).
  */
-bool write_file_atomic(const std::string &path, const std::string &contents,
-                       bool best_effort = false);
+Status write_file_atomic(const std::string &path,
+                         const std::string &contents);
 
 /**
- * Read an entire file into @p out.  @return false (leaving @p out
- * unspecified) when the file is missing or unreadable — never fatal,
- * since cache probes routinely miss.
+ * Read an entire file into @p out.  Returns ErrorKind::NotFound when
+ * the file does not exist (cache probes routinely miss) and
+ * ErrorKind::IoError for open/read failures on a file that does;
+ * @p out is unspecified on error.
  */
-bool read_file_bytes(const std::string &path, std::string &out);
+Status read_file_bytes(const std::string &path, std::string &out);
 
 } // namespace leakbound::util
 

@@ -5,20 +5,26 @@
 
 #include "util/csv.hpp"
 
-#include "util/logging.hpp"
+#include "util/fault_injection.hpp"
 
 namespace leakbound::util {
 
 CsvWriter::CsvWriter(const std::string &path)
     : out_(path)
 {
-    if (!out_)
-        fatal("cannot open CSV output file: ", path);
+    if (fault::should_fail(fault::Site::OpenWrite, path))
+        out_.setstate(std::ios::failbit);
+    if (!out_) {
+        status_ = Status(ErrorKind::IoError,
+                         "cannot open CSV output file: " + path);
+    }
 }
 
 void
 CsvWriter::write_row(const std::vector<std::string> &fields)
 {
+    if (!ok())
+        return;
     for (std::size_t i = 0; i < fields.size(); ++i) {
         if (i)
             out_ << ',';

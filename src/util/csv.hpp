@@ -11,32 +11,43 @@
 #include <string>
 #include <vector>
 
+#include "util/status.hpp"
+
 namespace leakbound::util {
 
 /**
  * Streams rows of string fields to a CSV file, quoting fields that need
  * it.  The file is flushed and closed on destruction (RAII).
+ *
+ * An unopenable path latches a Status instead of killing the process:
+ * a broken --csv-dir should cost the user one mirror file, not the
+ * whole suite run.  Callers check ok()/status() after construction (or
+ * after the last row) and decide how loudly to complain.
  */
 class CsvWriter
 {
   public:
-    /**
-     * Open @p path for writing; calls fatal() if the file cannot be
-     * created (user-environment problem, not a library bug).
-     */
+    /** Open @p path for writing; latches status() on failure. */
     explicit CsvWriter(const std::string &path);
 
-    /** Write one row. */
+    /** Write one row (no-op when the writer failed to open). */
     void write_row(const std::vector<std::string> &fields);
 
     /** True once at least one row has been written. */
     bool wrote_anything() const { return wrote_; }
+
+    /** Whether the writer is usable (opened and no write error). */
+    bool ok() const { return status_.ok(); }
+
+    /** The latched error, if any. */
+    const Status &status() const { return status_; }
 
     /** Quote a field per RFC 4180 if it contains , " or newline. */
     static std::string escape(const std::string &field);
 
   private:
     std::ofstream out_;
+    Status status_;
     bool wrote_ = false;
 };
 

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Implementation of the deterministic fault injector.
+ *
+ * This entire translation unit is empty in release builds: the header
+ * provides constant-false inlines when LEAKBOUND_FAULT_INJECTION is
+ * off, and the compiled-out CTest greps the binary for the marker
+ * string below to prove no injector code was linked.
+ */
+
+#include "util/fault_injection.hpp"
+
+#if defined(LEAKBOUND_FAULT_INJECTION) && LEAKBOUND_FAULT_INJECTION
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <vector>
+
+#include "util/logging.hpp"
+#include "util/random.hpp"
+
+namespace leakbound::util::fault {
+
+namespace {
+
+/**
+ * Marker literal that exists only in fault-injection builds; the
+ * chaos_injector_compiled_out test asserts its absence from release
+ * binaries.  It is kept alive by the configure_from_env() warn below.
+ */
+constexpr const char kInjectorMarker[] = "LEAKBOUND_FAULT_INJECTOR_ACTIVE";
+
+/** One `site[@match]=rate` rule. */
+struct Rule
+{
+    double rate = 0.0;
+    std::string match; ///< substring filter on the probe tag; "" = all
+};
+
+struct State
+{
+    std::uint64_t seed = 0x1eafb01dULL;
+    std::array<std::vector<Rule>, kNumFaultSites> rules;
+    std::array<std::atomic<std::uint64_t>, kNumFaultSites> draws{};
+    std::array<std::atomic<std::uint64_t>, kNumFaultSites> injected{};
+};
+
+State &
+state()
+{
+    static State s;
+    return s;
+}
+
+std::size_t
+index(Site site)
+{
+    const auto i = static_cast<std::size_t>(site);
+    LEAKBOUND_ASSERT(i < kNumFaultSites, "bad fault site ", i);
+    return i;
+}
+
+bool
+parse_site(std::string_view name, Site &out)
+{
+    for (std::size_t i = 0; i < kNumFaultSites; ++i) {
+        const Site site = static_cast<Site>(i);
+        if (name == site_name(site)) {
+            out = site;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Parse one `site[@match]=rate` clause into @p rules. */
+bool
+parse_clause(std::string_view clause,
+             std::array<std::vector<Rule>, kNumFaultSites> &rules)
+{
+    const auto eq = clause.find('=');
+    if (eq == std::string_view::npos || eq == 0)
+        return false;
+    std::string_view lhs = clause.substr(0, eq);
+    const std::string_view rhs = clause.substr(eq + 1);
+
+    Rule rule;
+    const auto at = lhs.find('@');
+    if (at != std::string_view::npos) {
+        rule.match = std::string(lhs.substr(at + 1));
+        lhs = lhs.substr(0, at);
+        if (rule.match.empty())
+            return false;
+    }
+    Site site;
+    if (!parse_site(lhs, site))
+        return false;
+
+    char *end = nullptr;
+    const std::string rate_str(rhs);
+    rule.rate = std::strtod(rate_str.c_str(), &end);
+    if (end == rate_str.c_str() || *end != '\0' || rule.rate < 0.0 ||
+        rule.rate > 1.0)
+        return false;
+
+    rules[index(site)].push_back(std::move(rule));
+    return true;
+}
+
+} // namespace
+
+bool
+configure(const std::string &spec, std::uint64_t seed)
+{
+    std::array<std::vector<Rule>, kNumFaultSites> rules;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        std::size_t comma = spec.find(',', start);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string_view clause =
+            std::string_view(spec).substr(start, comma - start);
+        if (!clause.empty() && !parse_clause(clause, rules)) {
+            warn("bad fault-injection clause '", std::string(clause),
+                 "' (want site[@match]=rate)");
+            return false;
+        }
+        start = comma + 1;
+    }
+
+    State &s = state();
+    s.seed = seed;
+    s.rules = std::move(rules);
+    for (std::size_t i = 0; i < kNumFaultSites; ++i) {
+        s.draws[i].store(0, std::memory_order_relaxed);
+        s.injected[i].store(0, std::memory_order_relaxed);
+    }
+    return true;
+}
+
+void
+configure_from_env()
+{
+    const char *spec = std::getenv("LEAKBOUND_FAULT_INJECTION");
+    if (!spec || !*spec)
+        return;
+    std::uint64_t seed = 0x1eafb01dULL;
+    if (const char *seed_env = std::getenv("LEAKBOUND_FAULT_SEED"))
+        seed = std::strtoull(seed_env, nullptr, 0);
+    if (!configure(spec, seed)) {
+        warn("ignoring malformed LEAKBOUND_FAULT_INJECTION spec: ", spec);
+        return;
+    }
+    // Loud on purpose: results produced under injection must never be
+    // mistaken for clean ones.  The marker literal also anchors the
+    // compiled-out CTest.
+    warn(kInjectorMarker, ": injecting faults per '", spec, "' (seed ",
+         seed, ")");
+}
+
+bool
+should_fail(Site site, std::string_view tag)
+{
+    State &s = state();
+    const std::size_t i = index(site);
+    const auto &rules = s.rules[i];
+    if (rules.empty())
+        return false;
+
+    double rate = 0.0;
+    for (const Rule &rule : rules) {
+        if (rule.match.empty() || tag.find(rule.match) != std::string_view::npos)
+            rate = std::max(rate, rule.rate);
+    }
+    if (rate <= 0.0)
+        return false;
+
+    // Counter-hashed draw: deterministic for a fixed (seed, site,
+    // per-site call index), independent of wall clock and of the other
+    // sites' traffic.
+    const std::uint64_t n = s.draws[i].fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t x =
+        s.seed ^ ((i + 1) * 0x9e3779b97f4a7c15ULL) ^ (n * 0xbf58476d1ce4e5b9ULL);
+    const double draw =
+        static_cast<double>(splitmix64(x) >> 11) * 0x1.0p-53;
+    if (draw >= rate)
+        return false;
+
+    s.injected[i].fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+std::uint64_t
+injected_count(Site site)
+{
+    return state().injected[index(site)].load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+total_injected()
+{
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < kNumFaultSites; ++i)
+        total += state().injected[i].load(std::memory_order_relaxed);
+    return total;
+}
+
+void
+reset()
+{
+    State &s = state();
+    for (auto &rules : s.rules)
+        rules.clear();
+    for (std::size_t i = 0; i < kNumFaultSites; ++i) {
+        s.draws[i].store(0, std::memory_order_relaxed);
+        s.injected[i].store(0, std::memory_order_relaxed);
+    }
+}
+
+} // namespace leakbound::util::fault
+
+#endif // LEAKBOUND_FAULT_INJECTION

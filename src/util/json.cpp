@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "util/fault_injection.hpp"
 #include "util/logging.hpp"
 
 namespace leakbound::util {
@@ -192,18 +193,22 @@ JsonWriter::value(const std::vector<std::string> &v)
     return end_array();
 }
 
-void
+Status
 write_text_file(const std::string &path, const std::string &contents)
 {
-    std::FILE *file = std::fopen(path.c_str(), "wb");
+    std::FILE *file = fault::should_fail(fault::Site::OpenWrite, path)
+                          ? nullptr
+                          : std::fopen(path.c_str(), "wb");
     if (!file)
-        fatal("cannot create file: ", path);
-    if (std::fwrite(contents.data(), 1, contents.size(), file) !=
-        contents.size()) {
-        std::fclose(file);
-        fatal("short write to ", path);
-    }
+        return Status(ErrorKind::IoError, "cannot create file: " + path);
+    bool wrote = std::fwrite(contents.data(), 1, contents.size(), file) ==
+                 contents.size();
+    if (wrote && fault::should_fail(fault::Site::ShortWrite, path))
+        wrote = false;
     std::fclose(file);
+    if (!wrote)
+        return Status(ErrorKind::IoError, "short write to " + path);
+    return Status();
 }
 
 } // namespace leakbound::util

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "util/status.hpp"
+
 namespace leakbound::util {
 
 /** Escape @p s for inclusion inside a JSON string literal (no quotes). */
@@ -80,9 +82,11 @@ class JsonWriter
 
 /**
  * Write @p contents to @p path atomically enough for reports (truncate
- * + write + close); fatal() if the file cannot be created.
+ * + write + close).  Returns an ErrorKind::IoError Status on create or
+ * short-write failure so report emission can degrade instead of dying.
  */
-void write_text_file(const std::string &path, const std::string &contents);
+Status write_text_file(const std::string &path,
+                       const std::string &contents);
 
 } // namespace leakbound::util
 

@@ -49,7 +49,10 @@ fatal_impl(const std::string &msg)
 {
     std::fprintf(stderr, "fatal: %s\n", msg.c_str());
     std::fflush(stderr);
-    std::exit(1);
+    // User error, not a leakbound bug: exit cleanly with the documented
+    // status.  Aborting (and possibly dumping core) is reserved for
+    // panic(), which signals a violated internal invariant.
+    std::exit(kFatalExitCode);
 }
 
 void

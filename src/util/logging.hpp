@@ -6,7 +6,8 @@
  *   - panic():  an internal invariant was violated; this is a leakbound
  *               bug.  Aborts (may dump core).
  *   - fatal():  the *user* asked for something impossible (bad config,
- *               inconsistent parameters).  Exits with status 1.
+ *               inconsistent parameters).  Prints a clean message and
+ *               exits with status 2 — never aborts, never dumps core.
  *   - warn():   something is suspicious but simulation can continue.
  *   - inform(): neutral progress/status messages.
  *
@@ -67,7 +68,10 @@ panic_at(const char *file, int line, Args &&...args)
     detail::panic_impl(file, line, detail::concat(std::forward<Args>(args)...));
 }
 
-/** Report a user error and exit(1). */
+/** Exit status used by fatal() for user errors. */
+inline constexpr int kFatalExitCode = 2;
+
+/** Report a user error and exit cleanly with kFatalExitCode. */
 template <typename... Args>
 [[noreturn]] void
 fatal(Args &&...args)

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Implementation of the typed error value.
+ */
+
+#include "util/status.hpp"
+
+namespace leakbound::util {
+
+const char *
+error_kind_name(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::None: return "ok";
+      case ErrorKind::IoError: return "io_error";
+      case ErrorKind::NotFound: return "not_found";
+      case ErrorKind::CorruptData: return "corrupt_data";
+      case ErrorKind::LockTimeout: return "lock_timeout";
+      case ErrorKind::Interrupted: return "interrupted";
+      case ErrorKind::InvalidArgument: return "invalid_argument";
+      case ErrorKind::FaultInjected: return "fault_injected";
+      case ErrorKind::Internal: return "internal";
+    }
+    return "unknown";
+}
+
+std::string
+Status::to_string() const
+{
+    if (ok())
+        return "ok";
+    std::string out = error_kind_name(kind_);
+    if (!message_.empty()) {
+        out += ": ";
+        out += message_;
+    }
+    return out;
+}
+
+} // namespace leakbound::util

@@ -89,7 +89,7 @@ Table::render() const
     return os.str();
 }
 
-void
+Status
 Table::write_csv(const std::string &path) const
 {
     CsvWriter csv(path);
@@ -99,6 +99,7 @@ Table::write_csv(const std::string &path) const
         if (!row.empty())
             csv.write_row(row);
     }
+    return csv.status();
 }
 
 void

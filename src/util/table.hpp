@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "util/status.hpp"
+
 namespace leakbound::util {
 
 /**
@@ -41,9 +43,11 @@ class Table
 
     /**
      * Mirror the table (header + data rows; separators dropped) to a
-     * CSV file so plotting scripts can regenerate the figure.
+     * CSV file so plotting scripts can regenerate the figure.  Returns
+     * the writer's Status so bench reports can record — rather than die
+     * on — an unwritable --csv-dir.
      */
-    void write_csv(const std::string &path) const;
+    Status write_csv(const std::string &path) const;
 
     /** Number of data rows added so far. */
     std::size_t num_rows() const { return rows_.size(); }

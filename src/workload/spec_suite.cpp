@@ -20,6 +20,8 @@
 
 #include "workload/spec_suite.hpp"
 
+#include <algorithm>
+
 #include "util/logging.hpp"
 #include "workload/callgraph.hpp"
 #include "workload/data_pattern.hpp"
@@ -349,6 +351,13 @@ suite_names()
     static const std::vector<std::string> names = {
         "ammp", "applu", "gcc", "gzip", "mesa", "vortex"};
     return names;
+}
+
+bool
+is_benchmark(const std::string &name)
+{
+    const auto &names = suite_names();
+    return std::find(names.begin(), names.end(), name) != names.end();
 }
 
 WorkloadPtr

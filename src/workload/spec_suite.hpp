@@ -42,6 +42,13 @@ const std::vector<std::string> &suite_names();
 WorkloadPtr make_benchmark(const std::string &name, std::uint64_t seed = 0);
 
 /**
+ * Whether make_benchmark() accepts @p name — a cheap validity probe
+ * (no workload is constructed) for callers that want the unknown-name
+ * fatal() on their own thread before fanning jobs out to workers.
+ */
+bool is_benchmark(const std::string &name);
+
+/**
  * The paper's Figure 2 example: a yearly loop whose inner loop's trip
  * count (|high(i) - low(i)|) controls the re-access interval of the
  * `add` instruction.  @p inner_min / @p inner_max bound that count.

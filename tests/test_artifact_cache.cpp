@@ -277,7 +277,7 @@ TEST(ArtifactCache, StoreThenLoadIsByteIdentical)
     const std::string dir = fresh_cache_dir("lb_cache_roundtrip");
     ArtifactCache cache(dir);
     const std::uint64_t key = 0x1234'5678'9abc'def0ULL;
-    ASSERT_TRUE(cache.store(key, sample_result()));
+    ASSERT_TRUE(cache.store(key, sample_result()).ok());
     ASSERT_TRUE(fs::exists(cache.entry_path(key)));
 
     auto loaded = cache.try_load(key);
@@ -294,7 +294,7 @@ TEST(ArtifactCache, CorruptEntriesAreDiscardedAndResimulated)
     const std::string dir = fresh_cache_dir("lb_cache_corrupt");
     ArtifactCache cache(dir);
     const std::uint64_t key = 42;
-    ASSERT_TRUE(cache.store(key, sample_result()));
+    ASSERT_TRUE(cache.store(key, sample_result()).ok());
 
     std::string bytes;
     {
@@ -349,6 +349,10 @@ TEST(ArtifactCache, CorruptEntriesAreDiscardedAndResimulated)
     ASSERT_TRUE(reloaded.has_value());
     EXPECT_EQ(serialize_result(*reloaded),
               serialize_result(sample_result()));
+    // Every rejected mutation was counted, and none of them demoted
+    // the cache — corruption is recoverable, not degrading.
+    EXPECT_GE(cache.health().corrupt_entries, 11u);
+    EXPECT_FALSE(cache.degraded());
     fs::remove_all(dir);
 }
 
@@ -394,6 +398,8 @@ TEST(ArtifactCache, StaleLockIsBroken)
     // released.
     EXPECT_TRUE(fs::exists(cache.entry_path(key)));
     EXPECT_FALSE(fs::exists(cache.entry_path(key) + ".lock"));
+    EXPECT_GE(cache.health().lock_breaks, 1u);
+    EXPECT_EQ(cache.health().lock_timeouts, 0u);
     fs::remove_all(dir);
 }
 
@@ -416,7 +422,41 @@ TEST(ArtifactCache, HeldLockTimesOutWithoutStoring)
     EXPECT_EQ(serialize_result(result), serialize_result(sample_result()));
     EXPECT_FALSE(fs::exists(cache.entry_path(key)));
     EXPECT_TRUE(fs::exists(cache.entry_path(key) + ".lock"));
+    // The wait was counted (with its retries) but did not demote the
+    // cache: lock contention is per-entry, not a dead backing store.
+    EXPECT_EQ(cache.health().lock_timeouts, 1u);
+    EXPECT_GE(cache.health().lock_retries, 1u);
+    EXPECT_FALSE(cache.degraded());
     fs::remove_all(dir);
+}
+
+TEST(ArtifactCache, UnwritableDirectoryDegradesToSimulation)
+{
+    // Point the cache at a path that can never become a directory (a
+    // regular file occupies it).  The first load_or_run demotes the
+    // cache with a warning and every job simulates without caching —
+    // results stay correct, no exception escapes.
+    const std::string blocker =
+        ::testing::TempDir() + "lb_cache_blocker_file";
+    fs::remove_all(blocker);
+    { std::ofstream out(blocker); out << "not a directory"; }
+
+    ArtifactCache cache(blocker + "/nested");
+    int simulations = 0;
+    for (int i = 0; i < 3; ++i) {
+        const ExperimentResult r =
+            cache.load_or_run(7 + i, "gzip", [&simulations] {
+                ++simulations;
+                return sample_result();
+            });
+        EXPECT_FALSE(r.from_cache);
+        EXPECT_EQ(serialize_result(r), serialize_result(sample_result()));
+    }
+    EXPECT_EQ(simulations, 3);
+    EXPECT_TRUE(cache.degraded());
+    EXPECT_EQ(cache.health().degraded_jobs, 3u)
+        << "the demoting job and both after it ran uncached";
+    fs::remove_all(blocker);
 }
 
 // ---------------------------------------------------------------------

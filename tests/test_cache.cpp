@@ -45,13 +45,13 @@ TEST(CacheConfig, ValidationCatchesBadGeometry)
 {
     CacheConfig c = tiny();
     c.line_bytes = 48; // not a power of two
-    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1), "power of two");
+    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(2), "power of two");
     c = tiny();
     c.size_bytes = 300; // not divisible
-    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1), "multiple");
+    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(2), "multiple");
     c = tiny();
     c.hit_latency = 0;
-    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1), "latency");
+    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(2), "latency");
 }
 
 TEST(Cache, ColdMissesThenHits)
@@ -202,7 +202,7 @@ TEST(Hierarchy, RejectsMemoryFasterThanL2)
 {
     HierarchyConfig cfg;
     cfg.memory_latency = 3;
-    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(2),
                 "memory latency");
 }
 

@@ -56,7 +56,7 @@ TEST(Technology, LookupByName)
 {
     EXPECT_EQ(&node_params_by_name("130nm"), &node_params(TechNode::Nm130));
     EXPECT_EXIT(node_params_by_name("45nm"),
-                ::testing::ExitedWithCode(1), "unknown technology");
+                ::testing::ExitedWithCode(2), "unknown technology");
 }
 
 TEST(Technology, DefaultTimingsMatchPaper)
@@ -83,21 +83,21 @@ TEST(Technology, ValidationRejectsBadParams)
 {
     TechnologyParams p = node_params(TechNode::Nm70);
     p.drowsy_power = 1.5; // above active
-    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(1), "drowsy");
+    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(2), "drowsy");
 
     p = node_params(TechNode::Nm70);
     p.sleep_power = 0.9; // above drowsy
-    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(1), "sleep");
+    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(2), "sleep");
 
     p = node_params(TechNode::Nm70);
     p.refetch_energy = -1;
-    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(1), "refetch");
+    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(2), "refetch");
 
     p = node_params(TechNode::Nm70);
     p.timings.s1 = 1; // sleep overhead below drowsy overhead
     p.timings.s3 = 1;
     p.timings.s4 = 1;
-    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(1), "Lemma 1");
+    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(2), "Lemma 1");
 }
 
 // ------------------------------------------------------------ hotleakage
@@ -133,9 +133,9 @@ TEST(HotLeakage, DrowsyRatioInUnitInterval)
 TEST(HotLeakage, DrowsyRatioRejectsBadVoltages)
 {
     LeakageInputs in;
-    EXPECT_EXIT(drowsy_ratio(in, 0.0), ::testing::ExitedWithCode(1),
+    EXPECT_EXIT(drowsy_ratio(in, 0.0), ::testing::ExitedWithCode(2),
                 "vdd_low");
-    EXPECT_EXIT(drowsy_ratio(in, in.vdd), ::testing::ExitedWithCode(1),
+    EXPECT_EXIT(drowsy_ratio(in, in.vdd), ::testing::ExitedWithCode(2),
                 "vdd_low");
 }
 
@@ -190,7 +190,7 @@ TEST(CactiLite, RejectsDegenerateGeometry)
     CactiGeometry geom;
     geom.line_bytes = 0;
     EXPECT_EXIT(relative_read_energy(geom, tech),
-                ::testing::ExitedWithCode(1), "nonzero");
+                ::testing::ExitedWithCode(2), "nonzero");
 }
 
 // ------------------------------------------------------------------ itrs

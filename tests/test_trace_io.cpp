@@ -15,6 +15,7 @@
 
 #include "trace/trace_io.hpp"
 #include "util/random.hpp"
+#include "util/status.hpp"
 
 using namespace leakbound;
 using namespace leakbound::trace;
@@ -71,28 +72,46 @@ TEST(TraceIo, EmptyTraceReadsNothing)
     std::remove(path.c_str());
 }
 
-TEST(TraceIo, MissingFileIsFatal)
+TEST(TraceIo, MissingFileIsTypedNotFound)
 {
-    EXPECT_EXIT(TraceReader("/nonexistent/path/trace.bin"),
-                ::testing::ExitedWithCode(1), "cannot open");
+    TraceReader reader("/nonexistent/path/trace.bin");
+    EXPECT_FALSE(reader.ok());
+    EXPECT_EQ(reader.status().kind(), util::ErrorKind::NotFound);
+    EXPECT_NE(reader.status().message().find("no such trace file"),
+              std::string::npos);
+    TimedAccess rec;
+    EXPECT_FALSE(reader.next(rec));
 }
 
-TEST(TraceIo, BadMagicIsFatal)
+TEST(TraceIo, BadMagicIsTypedCorruptData)
 {
     const std::string path = temp_path("lb_trace_bad.bin");
     {
         std::ofstream out(path, std::ios::binary);
         out << "this is not a trace file at all";
     }
-    EXPECT_EXIT(TraceReader reader(path), ::testing::ExitedWithCode(1),
-                "not a leakbound trace");
+    TraceReader reader(path);
+    EXPECT_FALSE(reader.ok());
+    EXPECT_EQ(reader.status().kind(), util::ErrorKind::CorruptData);
+    EXPECT_NE(reader.status().message().find("not a leakbound trace"),
+              std::string::npos);
+    TimedAccess rec;
+    EXPECT_FALSE(reader.next(rec));
     std::remove(path.c_str());
 }
 
-TEST(TraceIo, UnwritablePathIsFatal)
+TEST(TraceIo, UnwritablePathIsTypedIoError)
 {
-    EXPECT_EXIT(TraceWriter("/nonexistent/dir/trace.bin"),
-                ::testing::ExitedWithCode(1), "cannot create");
+    TraceWriter writer("/nonexistent/dir/trace.bin");
+    EXPECT_FALSE(writer.ok());
+    EXPECT_EQ(writer.status().kind(), util::ErrorKind::IoError);
+    EXPECT_NE(writer.status().message().find("cannot create"),
+              std::string::npos);
+    // Writes to a dead writer are swallowed, and flush reports the
+    // original latched status instead of inventing a new one.
+    writer.write(TimedAccess{});
+    EXPECT_EQ(writer.count(), 0u);
+    EXPECT_EQ(writer.flush().kind(), util::ErrorKind::IoError);
 }
 
 namespace {

@@ -331,7 +331,7 @@ TEST(Cli, UnknownFlagIsFatal)
     Cli cli("prog", "test");
     const char *argv[] = {"prog", "--bogus=1"};
     EXPECT_EXIT(cli.parse(2, const_cast<char **>(argv)),
-                ::testing::ExitedWithCode(1), "unknown flag");
+                ::testing::ExitedWithCode(2), "unknown flag");
 }
 
 TEST(Cli, BadNumberIsFatal)
@@ -340,7 +340,7 @@ TEST(Cli, BadNumberIsFatal)
     cli.add_flag("n", "number", "1");
     const char *argv[] = {"prog", "--n=xyz"};
     cli.parse(2, const_cast<char **>(argv));
-    EXPECT_EXIT((void)cli.get_u64("n"), ::testing::ExitedWithCode(1),
+    EXPECT_EXIT((void)cli.get_u64("n"), ::testing::ExitedWithCode(2),
                 "unsigned integer");
 }
 
@@ -425,7 +425,7 @@ TEST(JsonWriter, WriteTextFileRoundTrips)
 {
     const std::string path =
         ::testing::TempDir() + "lb_json_report.json";
-    write_text_file(path, "{\"k\": 1}\n");
+    ASSERT_TRUE(write_text_file(path, "{\"k\": 1}\n").ok());
     std::ifstream in(path);
     std::string contents((std::istreambuf_iterator<char>(in)),
                          std::istreambuf_iterator<char>());

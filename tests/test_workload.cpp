@@ -190,7 +190,7 @@ TEST(LoopProgram, RejectsBadPatternIndex)
     body.push_back(NodeSpec::make_block({4, 0.5, 0.0, 0}));
     EXPECT_EXIT(LoopProgram("bad", 0x1000, std::move(body),
                             std::move(patterns), 1),
-                ::testing::ExitedWithCode(1), "pattern");
+                ::testing::ExitedWithCode(2), "pattern");
 }
 
 // ------------------------------------------------------------ callgraph
@@ -241,11 +241,11 @@ TEST(CallGraph, RejectsBadSpecs)
     spec.min_instrs = 10;
     spec.max_instrs = 5;
     EXPECT_EXIT(CallGraphProgram("bad", 0x4000, spec, {}, 1),
-                ::testing::ExitedWithCode(1), "body size");
+                ::testing::ExitedWithCode(2), "body size");
     CallGraphSpec spec2;
     spec2.mem_fraction = 0.5;
     EXPECT_EXIT(CallGraphProgram("bad2", 0x4000, spec2, {}, 1),
-                ::testing::ExitedWithCode(1), "data patterns");
+                ::testing::ExitedWithCode(2), "data patterns");
 }
 
 // ------------------------------------------------------------ composite
@@ -295,7 +295,7 @@ TEST(SpecSuite, AllSixBenchmarksConstructAndRun)
 TEST(SpecSuite, UnknownNameIsFatal)
 {
     EXPECT_EXIT((void)make_benchmark("perlbmk"),
-                ::testing::ExitedWithCode(1), "unknown benchmark");
+                ::testing::ExitedWithCode(2), "unknown benchmark");
 }
 
 TEST(SpecSuite, BenchmarksAreDeterministic)

@@ -50,6 +50,7 @@
 #include "core/experiment.hpp"
 #include "core/policies.hpp"
 #include "core/savings.hpp"
+#include "core/suite_flags.hpp"
 #include "util/binary_io.hpp"
 #include "util/cli.hpp"
 #include "util/fault_injection.hpp"
@@ -267,7 +268,11 @@ finish(const util::Cli &cli)
     return report().failed_jobs > 0 ? 3 : 0;
 }
 
-/** Build the standard CLI for a bench binary. */
+/**
+ * Build the standard CLI for a bench binary.  The flag family itself
+ * lives in core/suite_flags.hpp so `leakbound-client` and `leakboundd`
+ * register the exact same names and help text.
+ */
 inline util::Cli
 make_cli(const std::string &name, const std::string &desc)
 {
@@ -277,56 +282,20 @@ make_cli(const std::string &name, const std::string &desc)
     util::install_signal_handlers();
     util::fault::configure_from_env();
     util::Cli cli(name, desc);
-    cli.add_flag("instructions", "dynamic instructions per benchmark",
-                 std::to_string(kDefaultInstructions));
-    cli.add_flag("jobs",
-                 "worker threads for suite simulation (0 = all "
-                 "hardware threads); results are merged in suite "
-                 "order, so output is identical for every value",
-                 "0");
-    cli.add_flag("json",
-                 "also write tables + wall-clock/per-benchmark "
-                 "timings to this JSON file (empty = off)",
-                 "");
-    cli.add_flag("csv-dir", "also mirror each table to CSV files in "
-                            "this directory (empty = off)",
-                 "");
-    cli.add_flag("cache-dir",
-                 "persist/reuse per-benchmark simulation artifacts in "
-                 "this directory (empty = $LEAKBOUND_CACHE_DIR, or "
-                 "off); cached results are byte-identical to fresh "
-                 "simulation",
-                 "");
-    cli.add_flag("suite-passes",
-                 "run the suite this many times in-process; with "
-                 "--cache-dir the first pass is cold and later passes "
-                 "are warm loads, each timed in the JSON report",
-                 "1");
+    core::SuiteFlagSpec spec;
+    spec.default_instructions = kDefaultInstructions;
+    core::register_suite_flags(cli, spec);
     report().program = name;
     report().description = desc;
     return cli;
 }
 
-/** The --jobs request, resolved against the hardware. */
-inline unsigned
-suite_jobs(const util::Cli &cli)
-{
-    return util::ThreadPool::effective_jobs(
-        static_cast<unsigned>(cli.get_u64("jobs")));
-}
-
-/**
- * Apply the shared suite flags (--instructions, --jobs, --cache-dir)
- * to @p config.  The cache directory resolves through the
- * LEAKBOUND_CACHE_DIR environment variable when the flag is empty.
- */
-inline void
-apply_suite_flags(core::ExperimentConfig &config, const util::Cli &cli)
-{
-    config.instructions = cli.get_u64("instructions");
-    config.jobs = suite_jobs(cli);
-    config.cache_dir = core::resolve_cache_dir(cli.get("cache-dir"));
-}
+// The shared flag helpers themselves live in core/suite_flags.hpp;
+// re-exported here so the 17 bench binaries keep their unqualified
+// spelling (ADL would find the core overloads anyway — the using
+// declarations make that the one unambiguous candidate).
+using core::apply_suite_flags;
+using core::suite_jobs;
 
 /**
  * core::run_suite_isolated plus bookkeeping: wall-clock the run,

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Throughput/latency bench of the leakboundd service, in-process.
+ *
+ * Starts a daemon on an ephemeral loopback port, performs one cold
+ * run (which populates the artifact cache when --cache-dir is set),
+ * then fires --requests identical run requests from --concurrency
+ * client threads — the warm phase, where responses come from the
+ * dedup scheduler and the artifact cache rather than fresh
+ * simulations.  Emits BENCH_serve.json with the cold/warm wall times,
+ * warm throughput, client-observed latency percentiles and the
+ * daemon's own /stats counters, so service-layer perf trajectories can
+ * be tracked across commits like the simulator's.
+ *
+ * Flags come from the shared core/suite_flags.hpp family
+ * (--instructions/--jobs/--cache-dir/--json) plus the load shape
+ * (--requests/--concurrency/--workers), so the bench, the daemon and
+ * the client all spell their knobs the same way.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "core/artifact_cache.hpp"
+#include "core/suite_flags.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "util/binary_io.hpp"
+#include "util/cli.hpp"
+#include "util/fault_injection.hpp"
+#include "util/interrupt.hpp"
+#include "util/json.hpp"
+#include "util/logging.hpp"
+#include "util/string_utils.hpp"
+#include "workload/spec_suite.hpp"
+
+using namespace leakbound;
+
+namespace {
+
+double
+seconds_since(std::chrono::steady_clock::time_point begun)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - begun)
+        .count();
+}
+
+std::string
+render_report(const util::Cli &cli, const serve::ServerConfig &config,
+              double cold_seconds, const serve::LoadReport &load,
+              const serve::StatsSnapshot &stats)
+{
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("bench").value("bench_serve");
+    w.key("description")
+        .value("leakboundd warm-cache throughput and latency");
+    w.key("flags").begin_object();
+    for (const auto &[name, value] : cli.snapshot())
+        w.key(name).value(value);
+    w.end_object();
+    w.key("workers")
+        .value(static_cast<std::uint64_t>(config.scheduler.workers));
+    w.key("suite_jobs")
+        .value(static_cast<std::uint64_t>(config.scheduler.suite_jobs));
+    w.key("cache_dir").value(config.scheduler.cache_dir);
+    w.key("cold_seconds").value(cold_seconds);
+    w.key("load").begin_object();
+    w.key("sent").value(load.sent);
+    w.key("ok").value(load.ok);
+    w.key("overloaded").value(load.overloaded);
+    w.key("errors").value(load.other_errors + load.shutting_down);
+    w.key("wall_seconds").value(load.wall_seconds);
+    w.key("throughput_rps")
+        .value(load.wall_seconds > 0.0
+                   ? static_cast<double>(load.ok) / load.wall_seconds
+                   : 0.0);
+    w.key("latency_p50_ms").value(load.latency_ms.p50());
+    w.key("latency_p99_ms").value(load.latency_ms.p99());
+    w.key("latency_max_ms").value(load.latency_ms.max());
+    w.key("distinct_fingerprints").value(load.distinct_fingerprints);
+    w.key("distinct_responses").value(load.distinct_responses);
+    w.end_object();
+    w.key("stats").begin_object();
+    w.key("requests_served").value(stats.requests_served);
+    w.key("dedup_hits").value(stats.dedup_hits);
+    w.key("cache_hits").value(stats.cache_hits);
+    w.key("rejected_overloaded").value(stats.rejected_overloaded);
+    w.key("protocol_errors").value(stats.protocol_errors);
+    w.key("sessions_accepted").value(stats.sessions_accepted);
+    w.end_object();
+    w.end_object();
+    return w.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    util::install_signal_handlers();
+    util::fault::configure_from_env();
+
+    util::Cli cli("bench_serve",
+                  "leakboundd warm-cache throughput and latency");
+    core::SuiteFlagSpec spec;
+    spec.csv_dir = false;
+    spec.suite_passes = false;
+    spec.default_instructions = 200'000;
+    core::register_suite_flags(cli, spec);
+    cli.add_flag("benchmarks",
+                 "comma-separated suite benchmarks per request", "gzip");
+    cli.add_flag("requests", "warm-phase run requests", "64");
+    cli.add_flag("concurrency", "client threads for the warm phase",
+                 "8");
+    cli.add_flag("workers", "scheduler suite workers in the daemon",
+                 "2");
+    cli.parse(argc, argv);
+
+    serve::ServerConfig config;
+    config.listen_tcp = true; // ephemeral loopback port
+    config.scheduler.workers =
+        static_cast<unsigned>(cli.get_u64("workers"));
+    config.scheduler.suite_jobs = core::suite_jobs(cli);
+    config.scheduler.cache_dir =
+        core::resolve_cache_dir(cli.get("cache-dir"));
+    config.scheduler.max_queue = cli.get_u64("requests");
+
+    serve::Server server(config);
+    if (util::Status started = server.start(); !started.ok())
+        util::fatal("cannot start the daemon: ", started.to_string());
+    std::thread serving([&server] {
+        if (util::Status served = server.serve(); !served.ok())
+            util::warn("serve failed: ", served.to_string());
+    });
+
+    serve::Endpoint endpoint;
+    endpoint.tcp_port = server.tcp_port();
+
+    serve::RunRequest request;
+    request.benchmarks = util::split(cli.get("benchmarks"), ',');
+    for (const std::string &name : request.benchmarks)
+        if (!workload::is_benchmark(name))
+            util::fatal("unknown benchmark \"", name, "\"");
+    request.instructions = cli.get_u64("instructions");
+
+    // Cold pass: one request simulates (and seeds the cache).
+    const auto cold_begun = std::chrono::steady_clock::now();
+    auto cold = serve::call_endpoint(
+        endpoint, serve::build_run_request(request));
+    const double cold_seconds = seconds_since(cold_begun);
+    if (!cold) {
+        server.request_drain();
+        serving.join();
+        util::fatal("cold request failed: ",
+                    cold.status().to_string());
+    }
+
+    // Warm phase: every response should come from the in-flight dedup
+    // group or the artifact cache.
+    const std::uint64_t requests = cli.get_u64("requests");
+    const unsigned concurrency =
+        static_cast<unsigned>(cli.get_u64("concurrency"));
+    const serve::LoadReport load =
+        serve::run_load(endpoint, request, requests, concurrency);
+
+    const serve::StatsSnapshot stats = server.stats();
+    server.request_drain();
+    serving.join();
+
+    std::printf(
+        "cold: %.3fs   warm: %llu/%llu ok in %.3fs (%.0f req/s)\n"
+        "latency: p50 %.2f ms, p99 %.2f ms   dedup %llu, cache %llu\n",
+        cold_seconds, static_cast<unsigned long long>(load.ok),
+        static_cast<unsigned long long>(load.sent), load.wall_seconds,
+        load.wall_seconds > 0.0
+            ? static_cast<double>(load.ok) / load.wall_seconds
+            : 0.0,
+        load.latency_ms.p50(), load.latency_ms.p99(),
+        static_cast<unsigned long long>(stats.dedup_hits),
+        static_cast<unsigned long long>(stats.cache_hits));
+
+    const std::string contents =
+        render_report(cli, config, cold_seconds, load, stats) + "\n";
+    const std::string path = cli.get("json");
+    if (!path.empty()) {
+        if (util::Status wrote = util::write_file_atomic(path, contents);
+            !wrote.ok())
+            util::warn("cannot write report: ", wrote.to_string());
+    }
+
+    const bool clean = load.ok == load.sent &&
+                       load.distinct_responses <= 1;
+    return clean ? 0 : 3;
+}

@@ -305,7 +305,7 @@ run_suite_isolated(const std::vector<std::string> &names,
                         &config](const std::string &name) -> JobOutcome {
         JobOutcome out;
         for (unsigned attempt = 0;; ++attempt) {
-            if (util::interrupt_requested()) {
+            if (!config.ignore_interrupts && util::interrupt_requested()) {
                 out.kind = util::ErrorKind::Interrupted;
                 out.message = "interrupted before " + name;
                 out.retries = attempt;
@@ -386,7 +386,7 @@ run_suite_isolated(const std::vector<std::string> &names,
         outcome.failures.push_back(SuiteJobFailure{
             i, names[i], out.kind, std::move(out.message), out.retries});
     }
-    if (util::interrupt_requested())
+    if (!config.ignore_interrupts && util::interrupt_requested())
         outcome.interrupted = true;
     if (cache)
         outcome.cache = cache->health();

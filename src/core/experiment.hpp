@@ -73,6 +73,16 @@ struct ExperimentConfig
      * the cache (raw intervals are memory-only and never persisted).
      */
     std::string cache_dir;
+    /**
+     * Do not cut this suite short on SIGINT/SIGTERM.  Batch binaries
+     * want the default (stop dispatching, flush a partial report); the
+     * serve daemon wants the opposite during drain — an admitted
+     * request runs to completion so its waiting clients get real
+     * results, and only *queued* requests are failed.  Excluded from
+     * config fingerprints: it never changes what a completed
+     * simulation produces.
+     */
+    bool ignore_interrupts = false;
 };
 
 /** What one cache yielded. */

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Implementation of the leakboundd client helpers.
+ */
+
+#include "serve/client.hpp"
+
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "util/fingerprint.hpp"
+
+namespace leakbound::serve {
+
+util::Expected<util::net::Socket>
+connect_endpoint(const Endpoint &endpoint)
+{
+    if (!endpoint.unix_path.empty())
+        return util::net::connect_unix(endpoint.unix_path);
+    if (endpoint.tcp_port != 0)
+        return util::net::connect_tcp(endpoint.tcp_host,
+                                      endpoint.tcp_port);
+    return util::Status(util::ErrorKind::InvalidArgument,
+                        "endpoint needs a socket path or a TCP port");
+}
+
+std::string
+build_run_request(const RunRequest &request)
+{
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("type").value("run");
+    w.key("benchmarks").value(request.benchmarks);
+    w.key("instructions").value(request.instructions);
+    if (request.nl_lead_time != 0)
+        w.key("nl_lead_time").value(request.nl_lead_time);
+    if (request.collect_l2)
+        w.key("collect_l2").value(true);
+    if (!request.standard_edges)
+        w.key("standard_edges").value(false);
+    if (!request.extra_edges.empty()) {
+        w.key("extra_edges").begin_array();
+        for (const std::uint64_t edge : request.extra_edges)
+            w.value(edge);
+        w.end_array();
+    }
+    if (request.want_payload)
+        w.key("payload").value(true);
+    w.end_object();
+    return w.str();
+}
+
+std::string
+build_stats_request()
+{
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("type").value("stats");
+    w.end_object();
+    return w.str();
+}
+
+std::string
+build_ping_request()
+{
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("type").value("ping");
+    w.end_object();
+    return w.str();
+}
+
+util::Expected<util::JsonValue>
+call(const util::net::Socket &socket, const std::string &request_json,
+     std::size_t max_frame, std::string *raw_frame)
+{
+    if (util::Status sent = send_frame(socket, request_json, max_frame);
+        !sent.ok())
+        return sent;
+    auto frame = recv_frame(socket, max_frame);
+    if (!frame)
+        return frame.status();
+    if (raw_frame != nullptr)
+        *raw_frame = frame.value();
+    auto parsed = util::json_parse(frame.value());
+    if (!parsed)
+        return parsed.status();
+    util::JsonValue response = parsed.take();
+    if (!response.is_object()) {
+        return util::Status(util::ErrorKind::CorruptData,
+                            "response is not a JSON object");
+    }
+    const util::JsonValue *status = response.find("status");
+    if (status == nullptr || !status->is_string()) {
+        return util::Status(util::ErrorKind::CorruptData,
+                            "response lacks a string \"status\"");
+    }
+    if (status->string_value() == "ok")
+        return response;
+
+    // An error frame: rebuild the typed Status the server serialized.
+    const util::JsonValue *kind = response.find("kind");
+    const util::JsonValue *message = response.find("message");
+    util::ErrorKind decoded = util::ErrorKind::Internal;
+    if (kind != nullptr && kind->is_string()) {
+        if (auto known =
+                util::error_kind_from_name(kind->string_value());
+            known && *known != util::ErrorKind::None)
+            decoded = *known;
+    }
+    return util::Status(decoded,
+                        message != nullptr && message->is_string()
+                            ? message->string_value()
+                            : "server-side error");
+}
+
+util::Expected<util::JsonValue>
+call_endpoint(const Endpoint &endpoint, const std::string &request_json,
+              std::size_t max_frame, std::string *raw_frame)
+{
+    auto socket = connect_endpoint(endpoint);
+    if (!socket)
+        return socket.status();
+    return call(socket.value(), request_json, max_frame, raw_frame);
+}
+
+LoadReport
+run_load(const Endpoint &endpoint, const RunRequest &request,
+         std::uint64_t total, unsigned concurrency,
+         std::size_t max_frame)
+{
+    const std::string request_json = build_run_request(request);
+    LoadReport report;
+    std::mutex mutex;
+    std::set<std::string> fingerprints;
+    std::set<std::uint64_t> response_digests;
+    std::uint64_t next = 0;
+
+    const auto begun = std::chrono::steady_clock::now();
+    auto worker = [&] {
+        for (;;) {
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                if (next >= total)
+                    return;
+                ++next;
+            }
+            const auto sent_at = std::chrono::steady_clock::now();
+            std::string raw;
+            auto response = call_endpoint(endpoint, request_json,
+                                          max_frame, &raw);
+            const double ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - sent_at)
+                    .count();
+
+            std::lock_guard<std::mutex> lock(mutex);
+            ++report.sent;
+            report.latency_ms.add(ms);
+            if (!response) {
+                switch (response.status().kind()) {
+                  case util::ErrorKind::Overloaded:
+                    ++report.overloaded;
+                    break;
+                  case util::ErrorKind::ShuttingDown:
+                    ++report.shutting_down;
+                    break;
+                  default:
+                    ++report.other_errors;
+                }
+                continue;
+            }
+            ++report.ok;
+            const util::JsonValue &body = response.value();
+            if (const util::JsonValue *fp =
+                    body.find("request_fingerprint");
+                fp != nullptr && fp->is_string())
+                fingerprints.insert(fp->string_value());
+            response_digests.insert(
+                util::fnv1a(raw.data(), raw.size()));
+        }
+    };
+
+    std::vector<std::thread> threads;
+    const unsigned workers = concurrency == 0 ? 1 : concurrency;
+    threads.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        threads.emplace_back(worker);
+    for (std::thread &thread : threads)
+        thread.join();
+
+    report.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      begun)
+            .count();
+    report.distinct_fingerprints = fingerprints.size();
+    report.distinct_responses = response_digests.size();
+    return report;
+}
+
+} // namespace leakbound::serve

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Implementation of the dedup/backpressure scheduler.
+ */
+
+#include "serve/scheduler.hpp"
+
+#include <exception>
+
+#include "serve/protocol.hpp"
+
+namespace leakbound::serve {
+
+Scheduler::Scheduler(SchedulerConfig config) : config_(std::move(config))
+{
+    const unsigned workers = config_.workers == 0 ? 1 : config_.workers;
+    workers_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+Scheduler::~Scheduler()
+{
+    drain();
+}
+
+util::Expected<std::shared_ptr<const std::string>>
+Scheduler::submit(core::ExperimentRequest request)
+{
+    const std::uint64_t fingerprint = core::fingerprint_request(request);
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++counters_.submitted;
+    if (draining_) {
+        ++counters_.rejected_shutting_down;
+        return util::Status(util::ErrorKind::ShuttingDown,
+                            "daemon is draining; request not admitted");
+    }
+
+    std::shared_ptr<Job> job;
+    if (auto it = inflight_.find(fingerprint); it != inflight_.end()) {
+        // An identical request is already admitted: join it.  The
+        // waiter gets the same rendered response object, so dedup
+        // groups are byte-identical by construction.
+        job = it->second;
+        ++counters_.dedup_hits;
+    } else {
+        if (queue_.size() >= config_.max_queue) {
+            ++counters_.rejected_overloaded;
+            return util::Status(
+                util::ErrorKind::Overloaded,
+                "admission queue full (" +
+                    std::to_string(config_.max_queue) +
+                    " requests waiting); retry later");
+        }
+        job = std::make_shared<Job>();
+        job->request = std::move(request);
+        job->fingerprint = fingerprint;
+        inflight_.emplace(fingerprint, job);
+        queue_.push_back(job);
+        ++counters_.queue_depth;
+        cv_.notify_all();
+    }
+
+    cv_.wait(lock, [&] { return job->done; });
+    ++counters_.served;
+    return job->response;
+}
+
+void
+Scheduler::worker_loop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        cv_.wait(lock, [&] { return draining_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (draining_)
+                return;
+            continue;
+        }
+        std::shared_ptr<Job> job = std::move(queue_.front());
+        queue_.pop_front();
+        job->started = true;
+        --counters_.queue_depth;
+        ++counters_.running;
+        ++counters_.simulations;
+
+        core::ExperimentRequest request = job->request;
+        const std::uint64_t fingerprint = job->fingerprint;
+        lock.unlock();
+        std::shared_ptr<const std::string> response =
+            execute(request, fingerprint);
+        lock.lock();
+
+        job->response = std::move(response);
+        job->done = true;
+        --counters_.running;
+        inflight_.erase(job->fingerprint);
+        cv_.notify_all();
+    }
+}
+
+std::shared_ptr<const std::string>
+Scheduler::execute(const core::ExperimentRequest &request,
+                   std::uint64_t fingerprint)
+{
+    try {
+        core::ExperimentConfig config = request.config;
+        // Server-owned knobs the wire decoder refused to accept, plus
+        // the drain contract: a started experiment always completes.
+        config.jobs = config_.suite_jobs;
+        config.cache_dir = config_.cache_dir;
+        config.ignore_interrupts = true;
+
+        core::SuiteOutcome outcome = core::run_suite_isolated(
+            request.benchmarks, config, config_.before_job);
+
+        std::uint64_t loaded = 0;
+        for (const auto &slot : outcome.slots)
+            if (slot && slot->from_cache)
+                ++loaded;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            counters_.cache_hits += loaded;
+        }
+        return std::make_shared<const std::string>(
+            render_run_response(outcome, request, fingerprint));
+    } catch (const util::StatusError &error) {
+        return std::make_shared<const std::string>(
+            render_error(error.status()));
+    } catch (const std::exception &error) {
+        return std::make_shared<const std::string>(render_error(
+            util::Status(util::ErrorKind::Internal, error.what())));
+    }
+}
+
+void
+Scheduler::drain()
+{
+    std::vector<std::thread> workers;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        draining_ = true;
+        workers.swap(workers_); // a concurrent drain() joins nothing
+        // Queued-not-started jobs never run: their waiters all wake
+        // with one shared ShuttingDown response.
+        if (!queue_.empty()) {
+            auto rejected = std::make_shared<const std::string>(
+                render_error(util::Status(
+                    util::ErrorKind::ShuttingDown,
+                    "daemon drained before this request started")));
+            for (const std::shared_ptr<Job> &job : queue_) {
+                job->response = rejected;
+                job->done = true;
+                inflight_.erase(job->fingerprint);
+            }
+            counters_.rejected_shutting_down += queue_.size();
+            counters_.queue_depth = 0;
+            queue_.clear();
+        }
+        cv_.notify_all();
+    }
+    for (std::thread &worker : workers)
+        worker.join();
+}
+
+SchedulerCounters
+Scheduler::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+} // namespace leakbound::serve

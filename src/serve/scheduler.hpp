@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Deduplicating, bounded-admission scheduler of the leakboundd daemon.
+ *
+ * The scheduler owns the daemon's compute: a small pool of suite
+ * workers draining a FIFO of admitted run requests.  Three properties
+ * the server layer builds on:
+ *
+ *  - **Dedup.** Requests are keyed by core::fingerprint_request — the
+ *    artifact cache's config fingerprint extended with the benchmark
+ *    list and payload flag.  A request whose key matches one already
+ *    admitted (queued *or* running) joins that job instead of
+ *    enqueueing: N identical concurrent requests cost one simulation,
+ *    and every waiter receives the *same* rendered response string, so
+ *    responses across a dedup group are byte-identical by
+ *    construction.
+ *
+ *  - **Backpressure.** Admission is bounded: when max_queue jobs are
+ *    admitted-but-not-started, a new (non-duplicate) request is
+ *    rejected with ErrorKind::Overloaded immediately — the daemon
+ *    sheds load explicitly instead of growing an unbounded queue.
+ *
+ *  - **Graceful drain.** drain() stops admission (new requests get
+ *    ShuttingDown), fails every queued-not-started job with a
+ *    ShuttingDown response (waking its waiters), and waits for running
+ *    jobs to finish — an admitted-and-started experiment always
+ *    completes, even under SIGTERM, because the scheduler stamps
+ *    ExperimentConfig::ignore_interrupts on every job it starts.
+ */
+
+#ifndef LEAKBOUND_SERVE_SCHEDULER_HPP
+#define LEAKBOUND_SERVE_SCHEDULER_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/experiment_request.hpp"
+#include "util/status.hpp"
+
+namespace leakbound::serve {
+
+/** Shape of the scheduler (the daemon's flags fill this in). */
+struct SchedulerConfig
+{
+    /** Concurrent suite runs (worker threads). */
+    unsigned workers = 1;
+    /** Jobs admitted-but-not-started before Overloaded rejections. */
+    std::size_t max_queue = 8;
+    /** Artifact cache directory stamped on every job ("" = off). */
+    std::string cache_dir;
+    /** ExperimentConfig::jobs stamped on every job (0 = all threads). */
+    unsigned suite_jobs = 1;
+    /** Test seam forwarded to core::run_suite_isolated per job. */
+    core::SuiteJobHook before_job;
+};
+
+/** Counters the /stats endpoint reads (monotonic unless noted). */
+struct SchedulerCounters
+{
+    std::uint64_t submitted = 0;    ///< admission attempts
+    std::uint64_t served = 0;       ///< responses delivered to a waiter
+    std::uint64_t dedup_hits = 0;   ///< joined an in-flight twin
+    std::uint64_t cache_hits = 0;   ///< benchmarks loaded from the cache
+    std::uint64_t simulations = 0;  ///< suite runs actually executed
+    std::uint64_t rejected_overloaded = 0;
+    std::uint64_t rejected_shutting_down = 0;
+    std::uint64_t queue_depth = 0;  ///< instantaneous: admitted, waiting
+    std::uint64_t running = 0;      ///< instantaneous: executing now
+};
+
+/**
+ * The dedup/backpressure scheduler.  Thread-safe; one instance per
+ * daemon.  The destructor drains.
+ */
+class Scheduler
+{
+  public:
+    explicit Scheduler(SchedulerConfig config);
+    ~Scheduler();
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    /**
+     * Admit @p request and block until its response is rendered.
+     * Returns the shared response string (identical object for every
+     * member of a dedup group), or Overloaded / ShuttingDown when the
+     * request was never admitted.
+     */
+    util::Expected<std::shared_ptr<const std::string>>
+    submit(core::ExperimentRequest request);
+
+    /**
+     * Stop admitting, fail queued jobs with ShuttingDown, wait for
+     * running jobs and join the workers.  Idempotent.
+     */
+    void drain();
+
+    /** Snapshot the counters (consistent under one lock). */
+    SchedulerCounters counters() const;
+
+  private:
+    struct Job
+    {
+        core::ExperimentRequest request;
+        std::uint64_t fingerprint = 0;
+        bool started = false;
+        bool done = false;
+        /** Set exactly once, before done; shared by all waiters. */
+        std::shared_ptr<const std::string> response;
+    };
+
+    void worker_loop();
+    std::shared_ptr<const std::string>
+    execute(const core::ExperimentRequest &request,
+            std::uint64_t fingerprint);
+
+    SchedulerConfig config_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    bool draining_ = false;
+    std::deque<std::shared_ptr<Job>> queue_;
+    /** Every admitted, not-yet-done job by dedup key. */
+    std::unordered_map<std::uint64_t, std::shared_ptr<Job>> inflight_;
+    SchedulerCounters counters_;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace leakbound::serve
+
+#endif // LEAKBOUND_SERVE_SCHEDULER_HPP

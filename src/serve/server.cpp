@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Implementation of the leakboundd server.
+ */
+
+#include "serve/server.hpp"
+
+#include <cstdio>
+
+#include "util/interrupt.hpp"
+#include "util/json.hpp"
+#include "util/logging.hpp"
+
+namespace leakbound::serve {
+
+Server::Server(ServerConfig config) : config_(std::move(config))
+{
+    scheduler_ = std::make_unique<Scheduler>(config_.scheduler);
+    started_at_ = std::chrono::steady_clock::now();
+}
+
+Server::~Server()
+{
+    // serve() normally runs the full drain; this covers start()-only
+    // lifetimes (tests that never serve).
+    scheduler_->drain();
+    if (!config_.unix_path.empty())
+        std::remove(config_.unix_path.c_str());
+}
+
+util::Status
+Server::start()
+{
+    if (config_.unix_path.empty() && !config_.listen_tcp) {
+        return util::Status(util::ErrorKind::InvalidArgument,
+                            "no listener configured: need a socket "
+                            "path or a TCP port");
+    }
+    if (!config_.unix_path.empty()) {
+        auto listener = util::net::listen_unix(config_.unix_path);
+        if (!listener)
+            return listener.status();
+        unix_listener_ = listener.take();
+    }
+    if (config_.listen_tcp) {
+        auto listener =
+            util::net::listen_tcp(config_.tcp_host, config_.tcp_port);
+        if (!listener)
+            return listener.status();
+        tcp_listener_ = listener.take();
+        tcp_port_ = util::net::local_port(tcp_listener_);
+    }
+    started_ = true;
+    return util::Status();
+}
+
+util::Status
+Server::serve()
+{
+    if (!started_) {
+        return util::Status(util::ErrorKind::InvalidArgument,
+                            "serve() before start()");
+    }
+
+    std::vector<const util::net::Socket *> listeners;
+    if (unix_listener_.valid())
+        listeners.push_back(&unix_listener_);
+    if (tcp_listener_.valid())
+        listeners.push_back(&tcp_listener_);
+
+    while (!drain_requested_.load() && !util::interrupt_requested()) {
+        const int ready =
+            util::net::wait_any_readable(listeners,
+                                         config_.poll_interval_ms);
+        if (ready == -2) {
+            return util::Status(util::ErrorKind::IoError,
+                                "poll on the listeners failed");
+        }
+        if (ready < 0) {
+            reap_finished_sessions();
+            continue;
+        }
+
+        auto accepted = util::net::accept_connection(*listeners[
+            static_cast<std::size_t>(ready)]);
+        if (!accepted) {
+            // Transient accept trouble (aborted handshake, fd
+            // pressure, the net_accept fault seam): log and keep
+            // serving.
+            util::warn("accept failed: ", accepted.status().to_string());
+            continue;
+        }
+
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++sessions_accepted_;
+        if (sessions_.size() >= config_.max_sessions) {
+            // Shed the connection explicitly: one error frame, then
+            // close.  The client sees a typed Overloaded, not a hang.
+            ++sessions_rejected_;
+            util::net::Socket socket = accepted.take();
+            (void)reply(socket,
+                        render_error(util::Status(
+                            util::ErrorKind::Overloaded,
+                            "session limit reached (" +
+                                std::to_string(config_.max_sessions) +
+                                "); retry later")));
+            continue;
+        }
+        sessions_.emplace_back();
+        Session &session = sessions_.back();
+        session.socket = accepted.take();
+        session.thread =
+            std::thread([this, &session] { run_session(&session); });
+    }
+
+    // Drain: no new connections; in-flight experiments finish and
+    // their waiters are answered; queued experiments fail typed.
+    scheduler_->drain();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (Session &session : sessions_)
+            session.socket.shutdown_read(); // idle recvs see EOF
+    }
+    for (Session &session : sessions_)
+        if (session.thread.joinable())
+            session.thread.join();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sessions_.clear();
+    }
+    unix_listener_.close();
+    tcp_listener_.close();
+    if (!config_.unix_path.empty())
+        std::remove(config_.unix_path.c_str());
+    return util::Status();
+}
+
+void
+Server::run_session(Session *session)
+{
+    for (;;) {
+        auto frame =
+            recv_frame(session->socket, config_.max_frame_bytes);
+        if (!frame) {
+            if (frame.status().kind() !=
+                util::ErrorKind::ConnectionClosed) {
+                // Truncated frame, oversized prefix, read fault: the
+                // stream is desynced — answer typed, then hang up.
+                note_protocol_error();
+                (void)reply(session->socket,
+                            render_error(frame.status()));
+            }
+            break;
+        }
+        if (!handle_frame(session->socket, frame.value()))
+            break;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    session->finished = true;
+}
+
+bool
+Server::handle_frame(const util::net::Socket &socket,
+                     const std::string &frame)
+{
+    auto parsed = util::json_parse(frame);
+    if (!parsed) {
+        // Garbage JSON inside an intact frame: the framing is still in
+        // sync, so answer the error and keep the session alive.
+        note_protocol_error();
+        return reply(socket, render_error(parsed.status())).ok();
+    }
+    const util::JsonValue &request = parsed.value();
+    if (!request.is_object()) {
+        note_protocol_error();
+        return reply(socket,
+                     render_error(util::Status(
+                         util::ErrorKind::InvalidArgument,
+                         "request must be a JSON object")))
+            .ok();
+    }
+    const util::JsonValue *type = request.find("type");
+    if (type == nullptr || !type->is_string()) {
+        note_protocol_error();
+        return reply(socket,
+                     render_error(util::Status(
+                         util::ErrorKind::InvalidArgument,
+                         "request needs a string \"type\" member")))
+            .ok();
+    }
+
+    const std::string &kind = type->string_value();
+    if (kind == "ping")
+        return reply(socket, render_pong()).ok();
+    if (kind == "stats")
+        return reply(socket, render_stats(stats())).ok();
+    if (kind == "run") {
+        auto decoded = core::decode_experiment_request(
+            request, config_.max_instructions);
+        if (!decoded) {
+            note_protocol_error();
+            return reply(socket, render_error(decoded.status())).ok();
+        }
+        const auto begun = std::chrono::steady_clock::now();
+        auto response = scheduler_->submit(decoded.take());
+        if (!response)
+            return reply(socket, render_error(response.status())).ok();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            latency_ms_.add(std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - begun)
+                                .count());
+        }
+        return reply(socket, *response.value()).ok();
+    }
+
+    note_protocol_error();
+    return reply(socket, render_error(util::Status(
+                             util::ErrorKind::InvalidArgument,
+                             "unknown request type \"" + kind + "\"")))
+        .ok();
+}
+
+util::Status
+Server::reply(const util::net::Socket &socket, const std::string &payload)
+{
+    return send_frame(socket, payload, config_.max_frame_bytes);
+}
+
+void
+Server::reap_finished_sessions()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+        if (it->finished) {
+            if (it->thread.joinable())
+                it->thread.join();
+            it = sessions_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+Server::note_protocol_error()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++protocol_errors_;
+}
+
+StatsSnapshot
+Server::stats() const
+{
+    const SchedulerCounters counters = scheduler_->counters();
+    StatsSnapshot snapshot;
+    snapshot.requests_served = counters.served;
+    snapshot.dedup_hits = counters.dedup_hits;
+    snapshot.cache_hits = counters.cache_hits;
+    snapshot.rejected_overloaded = counters.rejected_overloaded;
+    snapshot.rejected_shutting_down = counters.rejected_shutting_down;
+    snapshot.queue_depth = counters.queue_depth;
+    snapshot.running = counters.running;
+    snapshot.uptime_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started_at_)
+            .count();
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot.rejected_overloaded += sessions_rejected_;
+    snapshot.protocol_errors = protocol_errors_;
+    snapshot.sessions_accepted = sessions_accepted_;
+    snapshot.latency_p50_ms = latency_ms_.p50();
+    snapshot.latency_p99_ms = latency_ms_.p99();
+    return snapshot;
+}
+
+} // namespace leakbound::serve

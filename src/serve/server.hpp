@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The leakboundd server: listeners, session threads, stats, drain.
+ *
+ * Threading/ownership model (DESIGN.md §6): the thread that calls
+ * serve() runs the accept loop; every accepted connection gets one
+ * session thread that speaks strict request/response frames until the
+ * peer hangs up.  Session threads never touch each other's state —
+ * they share exactly two synchronized objects: the Scheduler (which
+ * owns all simulation compute) and the server's stats block (one
+ * mutex).  The accept loop polls with a short timeout so it observes
+ * both the cooperative interrupt flag (SIGINT/SIGTERM) and
+ * request_drain(); on either it stops accepting, drains the scheduler
+ * (in-flight experiments finish, queued ones fail with ShuttingDown),
+ * half-closes every idle session's read side so blocked recvs see EOF,
+ * and joins all session threads before serve() returns.
+ */
+
+#ifndef LEAKBOUND_SERVE_SERVER_HPP
+#define LEAKBOUND_SERVE_SERVER_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
+#include "util/net.hpp"
+#include "util/stats.hpp"
+#include "util/status.hpp"
+
+namespace leakbound::serve {
+
+/** Shape of one daemon instance. */
+struct ServerConfig
+{
+    /** Unix-domain socket path ("" = no unix listener). */
+    std::string unix_path;
+    /** TCP listen address; used when listen_tcp is true. */
+    std::string tcp_host = "127.0.0.1";
+    std::uint16_t tcp_port = 0; ///< 0 = kernel-assigned ephemeral port
+    bool listen_tcp = false;
+    /** Ceiling a request's "instructions" must stay under. */
+    std::uint64_t max_instructions = core::kDefaultMaxRequestInstructions;
+    /** Frame payload cap for both directions. */
+    std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+    /** Concurrent sessions; accepts beyond this are turned away. */
+    unsigned max_sessions = 64;
+    /** Accept-loop poll period (drain latency upper bound). */
+    int poll_interval_ms = 100;
+    SchedulerConfig scheduler;
+};
+
+/** One daemon: construct, start(), serve(); thread-safe stats/drain. */
+class Server
+{
+  public:
+    explicit Server(ServerConfig config);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind the configured listeners (call once, before serve()). */
+    util::Status start();
+
+    /** The bound TCP port (after start(); 0 when no TCP listener). */
+    std::uint16_t tcp_port() const { return tcp_port_; }
+
+    /**
+     * Run the accept loop on the calling thread until an interrupt or
+     * request_drain(), then drain and join everything.  Returns ok on
+     * a clean drain.
+     */
+    util::Status serve();
+
+    /** Ask serve() to drain and return (thread-safe, idempotent). */
+    void request_drain() { drain_requested_.store(true); }
+
+    /** Assemble the /stats view (also what sessions reply with). */
+    StatsSnapshot stats() const;
+
+  private:
+    struct Session
+    {
+        util::net::Socket socket;
+        std::thread thread;
+        bool finished = false;
+    };
+
+    void run_session(Session *session);
+    /** Handle one decoded frame; returns false to end the session. */
+    bool handle_frame(const util::net::Socket &socket,
+                      const std::string &frame);
+    util::Status reply(const util::net::Socket &socket,
+                       const std::string &payload);
+    void reap_finished_sessions();
+    void note_protocol_error();
+
+    ServerConfig config_;
+    std::unique_ptr<Scheduler> scheduler_;
+    util::net::Socket unix_listener_;
+    util::net::Socket tcp_listener_;
+    std::uint16_t tcp_port_ = 0;
+    bool started_ = false;
+    std::atomic<bool> drain_requested_{false};
+    std::chrono::steady_clock::time_point started_at_;
+
+    mutable std::mutex mutex_; ///< guards sessions_ and the counters below
+    std::list<Session> sessions_;
+    std::uint64_t sessions_accepted_ = 0;
+    std::uint64_t sessions_rejected_ = 0;
+    std::uint64_t protocol_errors_ = 0;
+    util::LatencyRecorder latency_ms_;
+};
+
+} // namespace leakbound::serve
+
+#endif // LEAKBOUND_SERVE_SERVER_HPP

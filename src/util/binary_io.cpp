@@ -9,11 +9,39 @@
 #include <cstdio>
 #include <cstring>
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include "util/fault_injection.hpp"
 
 namespace leakbound::util {
+
+namespace {
+
+/**
+ * fsync the directory containing @p path so a just-renamed entry's
+ * directory record survives power loss.  fsync on the file alone only
+ * persists its *contents*; the rename that published it lives in the
+ * directory, and until that is synced a crash can silently roll the
+ * publish back.  Directories that refuse open/fsync (some network and
+ * pseudo filesystems) are treated as an IoError the caller can degrade
+ * on, like every other publication failure.
+ */
+bool
+sync_parent_dir(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return false;
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+}
+
+} // namespace
 
 void
 BinaryWriter::put_u32(std::uint32_t v)
@@ -187,6 +215,16 @@ write_file_atomic(const std::string &path, const std::string &contents)
         std::remove(tmp.c_str());
         return Status(ErrorKind::IoError,
                       "cannot rename " + tmp + " to " + path);
+    }
+    // The rename is only durable once the directory entry reaches the
+    // disk; without this, a power cut after "successful" publication
+    // can resurrect the old entry (or none at all).
+    bool dir_synced = sync_parent_dir(path);
+    if (dir_synced && fault::should_fail(fault::Site::Enospc, path))
+        dir_synced = false;
+    if (!dir_synced) {
+        return Status(ErrorKind::IoError,
+                      "cannot fsync directory of " + path);
     }
     return Status();
 }

@@ -111,8 +111,10 @@ class BinaryReader
 
 /**
  * Write @p contents to @p path atomically: write `<path>.tmp.<pid>`,
- * fsync, then rename over @p path.  Readers of @p path therefore see
- * either the old or the new contents, never a torn mix.  Never fatal:
+ * fsync, rename over @p path, then fsync the containing directory so
+ * the publication itself survives power loss.  Readers of @p path
+ * therefore see either the old or the new contents, never a torn mix,
+ * and a "published" entry cannot silently vanish on crash.  Never fatal:
  * the temporary is cleaned up and an ErrorKind::IoError Status
  * describes what failed, so callers choose between degrading (cache
  * store), recording the failure (report flush), and dying (CLI-level

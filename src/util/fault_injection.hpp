@@ -19,7 +19,8 @@
  *   site[@match]=rate[,site[@match]=rate...]
  *
  * where `site` is one of open_read, open_write, short_write, enospc,
- * rename_torn, lock, simulate; `rate` is a fault probability in
+ * rename_torn, lock, simulate, net_accept, net_read, net_write;
+ * `rate` is a fault probability in
  * [0, 1]; and the optional `@match` restricts the rule to probes whose
  * tag (usually a path or workload name) contains the substring.  The
  * seed comes from LEAKBOUND_FAULT_SEED (default 0x1eafb01d).
@@ -49,9 +50,12 @@ enum class Site : std::uint8_t {
     RenameTorn, ///< atomic publish tears: half the bytes land, tmp lost
     Lock,       ///< lock acquisition reports contention
     Simulate,   ///< a suite job dies mid-simulation
+    NetAccept,  ///< accepting a client connection fails
+    NetRead,    ///< a socket read fails as if the peer vanished
+    NetWrite,   ///< a socket write fails mid-frame
 };
 
-inline constexpr std::size_t kNumFaultSites = 7;
+inline constexpr std::size_t kNumFaultSites = 10;
 
 /** The spec-string name of @p site ("open_read", ...). */
 constexpr const char *
@@ -65,6 +69,9 @@ site_name(Site site)
       case Site::RenameTorn: return "rename_torn";
       case Site::Lock: return "lock";
       case Site::Simulate: return "simulate";
+      case Site::NetAccept: return "net_accept";
+      case Site::NetRead: return "net_read";
+      case Site::NetWrite: return "net_write";
     }
     return "unknown";
 }

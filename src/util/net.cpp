@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Implementation of the socket wrapper.
+ */
+
+#include "util/net.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/fault_injection.hpp"
+
+namespace leakbound::util::net {
+
+namespace {
+
+Status
+errno_status(const std::string &what)
+{
+    return Status(ErrorKind::IoError,
+                  what + ": " + std::strerror(errno));
+}
+
+} // namespace
+
+void
+Socket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+Socket::shutdown_read()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RD);
+}
+
+Expected<Socket>
+listen_unix(const std::string &path, int backlog)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        return Status(ErrorKind::InvalidArgument,
+                      "socket path too long: " + path);
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!sock.valid())
+        return errno_status("cannot create unix socket");
+    ::unlink(path.c_str()); // stale socket file from a dead daemon
+    if (::bind(sock.fd(), reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        return errno_status("cannot bind " + path);
+    if (::listen(sock.fd(), backlog) != 0)
+        return errno_status("cannot listen on " + path);
+    return sock;
+}
+
+Expected<Socket>
+listen_tcp(const std::string &host, std::uint16_t port, int backlog)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        return Status(ErrorKind::InvalidArgument,
+                      "not a numeric IPv4 address: " + host);
+    }
+
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid())
+        return errno_status("cannot create tcp socket");
+    const int one = 1;
+    ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(sock.fd(), reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        return errno_status("cannot bind " + host + ":" +
+                            std::to_string(port));
+    }
+    if (::listen(sock.fd(), backlog) != 0)
+        return errno_status("cannot listen on " + host);
+    return sock;
+}
+
+Expected<Socket>
+connect_unix(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        return Status(ErrorKind::InvalidArgument,
+                      "socket path too long: " + path);
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!sock.valid())
+        return errno_status("cannot create unix socket");
+    if (::connect(sock.fd(), reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0)
+        return errno_status("cannot connect to " + path);
+    return sock;
+}
+
+Expected<Socket>
+connect_tcp(const std::string &host, std::uint16_t port)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        return Status(ErrorKind::InvalidArgument,
+                      "not a numeric IPv4 address: " + host);
+    }
+
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid())
+        return errno_status("cannot create tcp socket");
+    if (::connect(sock.fd(), reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        return errno_status("cannot connect to " + host + ":" +
+                            std::to_string(port));
+    }
+    return sock;
+}
+
+std::uint16_t
+local_port(const Socket &socket)
+{
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    if (::getsockname(socket.fd(), reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0)
+        return 0;
+    return ntohs(addr.sin_port);
+}
+
+int
+wait_readable(const Socket &socket, int timeout_ms)
+{
+    pollfd pfd{};
+    pfd.fd = socket.fd();
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0)
+        return errno == EINTR ? 0 : -1;
+    return rc > 0 ? 1 : 0;
+}
+
+int
+wait_any_readable(const std::vector<const Socket *> &sockets,
+                  int timeout_ms)
+{
+    std::vector<pollfd> pfds;
+    pfds.reserve(sockets.size());
+    for (const Socket *socket : sockets)
+        pfds.push_back(pollfd{socket->fd(), POLLIN, 0});
+    const int rc =
+        ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), timeout_ms);
+    if (rc < 0)
+        return errno == EINTR ? -1 : -2;
+    if (rc == 0)
+        return -1;
+    for (std::size_t i = 0; i < pfds.size(); ++i) {
+        if (pfds[i].revents != 0)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+Expected<Socket>
+accept_connection(const Socket &listener)
+{
+    if (fault::should_fail(fault::Site::NetAccept))
+        return Status(ErrorKind::FaultInjected, "injected accept fault");
+    for (;;) {
+        const int fd = ::accept(listener.fd(), nullptr, nullptr);
+        if (fd >= 0)
+            return Socket(fd);
+        if (errno == EINTR)
+            continue;
+        return errno_status("accept failed");
+    }
+}
+
+Status
+send_all(const Socket &socket, const void *data, std::size_t size)
+{
+    const char *bytes = static_cast<const char *>(data);
+    std::size_t sent = 0;
+    while (sent < size) {
+        if (fault::should_fail(fault::Site::NetWrite)) {
+            return Status(ErrorKind::FaultInjected,
+                          "injected socket write fault");
+        }
+        const ssize_t n =
+            ::send(socket.fd(), bytes + sent, size - sent, MSG_NOSIGNAL);
+        if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+            return Status(ErrorKind::ConnectionClosed,
+                          "peer closed the connection mid-write");
+        }
+        return errno_status("socket write failed");
+    }
+    return Status();
+}
+
+Status
+recv_exact(const Socket &socket, std::size_t size, std::string &out)
+{
+    out.clear();
+    out.reserve(size);
+    char buf[1 << 16];
+    while (out.size() < size) {
+        if (fault::should_fail(fault::Site::NetRead)) {
+            return Status(ErrorKind::FaultInjected,
+                          "injected socket read fault");
+        }
+        const std::size_t want =
+            std::min(size - out.size(), sizeof(buf));
+        const ssize_t n = ::recv(socket.fd(), buf, want, 0);
+        if (n > 0) {
+            out.append(buf, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n == 0) {
+            if (out.empty()) {
+                return Status(ErrorKind::ConnectionClosed,
+                              "peer closed the connection");
+            }
+            return Status(ErrorKind::CorruptData,
+                          "truncated read: got " +
+                              std::to_string(out.size()) + " of " +
+                              std::to_string(size) + " bytes");
+        }
+        if (errno == ECONNRESET && out.empty()) {
+            return Status(ErrorKind::ConnectionClosed,
+                          "connection reset by peer");
+        }
+        return errno_status("socket read failed");
+    }
+    return Status();
+}
+
+} // namespace leakbound::util::net

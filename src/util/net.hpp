@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Thin, Status-returning wrapper over Unix-domain and TCP stream
+ * sockets for the serve subsystem (serve/server, serve/client).
+ *
+ * Scope is deliberately narrow: blocking stream sockets, a poll-based
+ * readiness wait so accept/read loops can observe the interrupt flag,
+ * and byte-exact send/recv helpers.  Every failure path returns a
+ * typed util::Status — library code never kills the process over a
+ * flaky peer — and clean peer close is its own kind
+ * (ErrorKind::ConnectionClosed) so protocol code can tell "client went
+ * away" from "stream corrupted".
+ *
+ * Chaos builds compile net_accept / net_read / net_write fault seams
+ * into the three syscall wrappers (see util/fault_injection.hpp), so
+ * the daemon's robustness against vanishing peers and mid-frame write
+ * failures is testable without a misbehaving network.
+ */
+
+#ifndef LEAKBOUND_UTIL_NET_HPP
+#define LEAKBOUND_UTIL_NET_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace leakbound::util::net {
+
+/** Owning file-descriptor handle; move-only, closes on destruction. */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { close(); }
+
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+    Socket(Socket &&other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Socket &operator=(Socket &&other) noexcept
+    {
+        if (this != &other) {
+            close();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+
+    int fd() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    /** Close now (idempotent; the destructor also calls this). */
+    void close();
+
+    /**
+     * Half-close the read side: a peer blocked in recv on the other
+     * end sees EOF, while responses still in flight keep flowing.
+     * The drain path uses this to unstick idle sessions.
+     */
+    void shutdown_read();
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Create, bind and listen on a Unix-domain stream socket at @p path.
+ * A stale socket file at @p path is unlinked first (the daemon owns
+ * its socket path; two daemons sharing one path is a config error the
+ * second bind cannot detect portably anyway).
+ */
+Expected<Socket> listen_unix(const std::string &path, int backlog = 64);
+
+/**
+ * Create, bind and listen on a TCP socket at @p host:@p port.
+ * @p host must be a numeric IPv4 address (e.g. "127.0.0.1"); port 0
+ * lets the kernel pick — read it back with local_port().
+ */
+Expected<Socket> listen_tcp(const std::string &host, std::uint16_t port,
+                            int backlog = 64);
+
+/** Connect to a Unix-domain listener at @p path. */
+Expected<Socket> connect_unix(const std::string &path);
+
+/** Connect to a TCP listener at numeric @p host:@p port. */
+Expected<Socket> connect_tcp(const std::string &host, std::uint16_t port);
+
+/** The locally bound TCP port of @p socket (0 on failure). */
+std::uint16_t local_port(const Socket &socket);
+
+/**
+ * Wait up to @p timeout_ms for @p socket to become readable.
+ * @return 1 readable, 0 timed out, -1 error.  EINTR reports as a
+ * timeout so callers re-check the interrupt flag and come back.
+ */
+int wait_readable(const Socket &socket, int timeout_ms);
+
+/**
+ * Wait up to @p timeout_ms for any of @p sockets to become readable.
+ * @return the index of the first readable socket, -1 on timeout (or
+ * EINTR — re-check the interrupt flag), -2 on poll error.
+ */
+int wait_any_readable(const std::vector<const Socket *> &sockets,
+                      int timeout_ms);
+
+/**
+ * Accept one pending connection from @p listener (call after
+ * wait_readable said so; blocks otherwise).  Transient accept
+ * failures (aborted handshakes, fd pressure, the net_accept fault
+ * seam) return IoError — the accept loop logs and keeps serving.
+ */
+Expected<Socket> accept_connection(const Socket &listener);
+
+/**
+ * Write all @p size bytes to @p socket (retrying short writes and
+ * EINTR; SIGPIPE suppressed).  A dead peer returns
+ * ConnectionClosed; other failures IoError.
+ */
+Status send_all(const Socket &socket, const void *data, std::size_t size);
+
+/**
+ * Read exactly @p size bytes into @p out (cleared first).  EOF before
+ * the first byte is ConnectionClosed (the peer hung up between
+ * frames); EOF mid-buffer is CorruptData (a truncated frame — the
+ * peer died mid-message or lied in its length prefix).
+ */
+Status recv_exact(const Socket &socket, std::size_t size,
+                  std::string &out);
+
+} // namespace leakbound::util::net
+
+#endif // LEAKBOUND_UTIL_NET_HPP

@@ -64,6 +64,54 @@ class Accumulator
 };
 
 /**
+ * Bounded-memory percentile estimator for service latencies.
+ *
+ * The serve daemon's /stats endpoint reports p50/p99 request latency
+ * over the daemon's lifetime.  Keeping every sample would grow without
+ * bound in a long-running process, so past @p capacity samples the
+ * recorder decimates: it keeps every k-th observation (doubling k each
+ * time the buffer refills), which preserves an unbiased-enough view of
+ * a stationary latency distribution while capping memory.  Exact while
+ * under capacity — which covers every test and bench in this repo.
+ */
+class LatencyRecorder
+{
+  public:
+    explicit LatencyRecorder(std::size_t capacity = 1 << 14);
+
+    /** Record one observation (seconds, ms — any consistent unit). */
+    void add(double value);
+
+    /** Observations offered via add() (not the retained count). */
+    std::uint64_t count() const { return total_; }
+
+    /** Running min/max/mean over ALL observations (not decimated). */
+    double min() const { return summary_.min(); }
+    double max() const { return summary_.max(); }
+    double mean() const { return summary_.mean(); }
+
+    /**
+     * The @p q quantile (0..1) over the retained samples; 0 when
+     * empty.  q=0.5 is the median, q=0.99 the tail the SLO watches.
+     */
+    double quantile(double q) const;
+
+    /** Shorthands for the two numbers the /stats endpoint exports. */
+    double p50() const { return quantile(0.50); }
+    double p99() const { return quantile(0.99); }
+
+    /** Drop all samples and counters. */
+    void reset();
+
+  private:
+    std::size_t capacity_;
+    std::uint64_t total_ = 0;
+    std::uint64_t stride_ = 1; ///< keep every stride_-th observation
+    std::vector<double> samples_;
+    Accumulator summary_;
+};
+
+/**
  * A named scalar statistic inside a StatGroup.  Values are stored as
  * doubles; integer counters round-trip exactly below 2^53.
  */

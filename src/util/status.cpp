@@ -20,8 +20,28 @@ error_kind_name(ErrorKind kind)
       case ErrorKind::InvalidArgument: return "invalid_argument";
       case ErrorKind::FaultInjected: return "fault_injected";
       case ErrorKind::Internal: return "internal";
+      case ErrorKind::Overloaded: return "overloaded";
+      case ErrorKind::ShuttingDown: return "shutting_down";
+      case ErrorKind::ConnectionClosed: return "connection_closed";
     }
     return "unknown";
+}
+
+std::optional<ErrorKind>
+error_kind_from_name(std::string_view name)
+{
+    static constexpr ErrorKind kAll[] = {
+        ErrorKind::None,           ErrorKind::IoError,
+        ErrorKind::NotFound,       ErrorKind::CorruptData,
+        ErrorKind::LockTimeout,    ErrorKind::Interrupted,
+        ErrorKind::InvalidArgument, ErrorKind::FaultInjected,
+        ErrorKind::Internal,       ErrorKind::Overloaded,
+        ErrorKind::ShuttingDown,   ErrorKind::ConnectionClosed,
+    };
+    for (ErrorKind kind : kAll)
+        if (name == error_kind_name(kind))
+            return kind;
+    return std::nullopt;
 }
 
 std::string

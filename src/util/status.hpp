@@ -25,6 +25,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "util/logging.hpp"
@@ -45,10 +46,20 @@ enum class ErrorKind : std::uint8_t {
     InvalidArgument, ///< the caller asked for something impossible
     FaultInjected,   ///< a util::fault seam fired (chaos builds only)
     Internal,        ///< unexpected exception: a leakbound bug
+    Overloaded,      ///< the serve admission queue is full; retry later
+    ShuttingDown,    ///< the daemon is draining; no new work is admitted
+    ConnectionClosed, ///< the peer closed the connection (clean EOF)
 };
 
 /** Stable lower_snake name of @p kind, as emitted in JSON reports. */
 const char *error_kind_name(ErrorKind kind);
+
+/**
+ * Inverse of error_kind_name: the kind whose stable name is @p name,
+ * or nullopt for an unrecognized string.  The serve client uses this
+ * to rebuild a typed Status from the "kind" field of an error frame.
+ */
+std::optional<ErrorKind> error_kind_from_name(std::string_view name);
 
 /** Success or a (kind, message) failure; default-constructed is ok. */
 class [[nodiscard]] Status

@@ -6,7 +6,7 @@
  * 0x1000_0000+ (spaced far apart), stacks at 0x7fff_f000.  The exact
  * values only need to keep regions disjoint.
  *
- * Tuning goals (DESIGN.md §3 and §7): L1 miss rates of a few percent
+ * Tuning goals (DESIGN.md §3 and §8): L1 miss rates of a few percent
  * (hot stack/structure data takes the majority of references), code
  * resident sets that are a meaningful fraction of the 64KB L1I, a
  * broad population of *medium* (10^2..10^4 cycle) re-access intervals

@@ -1,0 +1,92 @@
+#!/bin/sh
+# End-to-end smoke of the experiment service: start leakboundd on a
+# temp unix socket, round-trip a run request twice (cold then warm),
+# require byte-identical simulation payloads (result_fnv digests),
+# check /stats, then SIGTERM and require a clean drain (exit 0, socket
+# removed).  Invoked by CTest as: serve_smoke.sh <leakboundd>
+# <leakbound-client>.
+#
+# The daemon is launched directly (never inside a compound command) so
+# $! is the daemon's own PID and the TERM we send exercises *its*
+# drain path, not a wrapper shell's.
+set -eu
+
+DAEMON=$1
+CLIENT=$2
+
+DIR=$(mktemp -d)
+PID=
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+SOCK=$DIR/leakboundd.sock
+"$DAEMON" --socket "$SOCK" --workers 2 --queue-limit 8 \
+    --cache-dir "$DIR/cache" >"$DIR/daemon.log" 2>&1 &
+PID=$!
+
+# Wait for the readiness line, then for the socket to answer.
+up=0
+i=0
+while [ $i -lt 100 ]; do
+    if "$CLIENT" --socket "$SOCK" --ping >/dev/null 2>&1; then
+        up=1
+        break
+    fi
+    if ! kill -0 "$PID" 2>/dev/null; then
+        break
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ $up -ne 1 ]; then
+    echo "serve_smoke: daemon never became ready" >&2
+    cat "$DIR/daemon.log" >&2
+    exit 1
+fi
+
+# Cold, then warm: the second response loads from the artifact cache
+# but its simulation payload must be byte-identical (same result_fnv).
+"$CLIENT" --socket "$SOCK" --benchmarks gzip --instructions 50000 \
+    >"$DIR/run1.json"
+"$CLIENT" --socket "$SOCK" --benchmarks gzip --instructions 50000 \
+    >"$DIR/run2.json"
+fnv1=$(grep -o '"result_fnv": "[0-9a-f]*"' "$DIR/run1.json")
+fnv2=$(grep -o '"result_fnv": "[0-9a-f]*"' "$DIR/run2.json")
+if [ -z "$fnv1" ] || [ "$fnv1" != "$fnv2" ]; then
+    echo "serve_smoke: warm result differs from cold" >&2
+    echo "cold: $fnv1" >&2
+    echo "warm: $fnv2" >&2
+    exit 1
+fi
+grep -q '"from_cache": true' "$DIR/run2.json" || {
+    echo "serve_smoke: warm run did not hit the cache" >&2
+    cat "$DIR/run2.json" >&2
+    exit 1
+}
+
+"$CLIENT" --socket "$SOCK" --stats >"$DIR/stats.json"
+grep -q '"requests_served": 2' "$DIR/stats.json" || {
+    echo "serve_smoke: stats did not count both runs" >&2
+    cat "$DIR/stats.json" >&2
+    exit 1
+}
+
+# Graceful drain: SIGTERM, daemon exits 0, socket gone.
+kill -TERM "$PID"
+status=0
+wait "$PID" || status=$?
+PID=
+if [ $status -ne 0 ]; then
+    echo "serve_smoke: daemon exited $status on SIGTERM" >&2
+    cat "$DIR/daemon.log" >&2
+    exit 1
+fi
+if [ -e "$SOCK" ]; then
+    echo "serve_smoke: socket left behind after drain" >&2
+    exit 1
+fi
+
+echo "serve_smoke: ok"

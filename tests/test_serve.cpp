@@ -1,0 +1,529 @@
+/**
+ * @file
+ * Tests of the leakboundd service layer: request decoding, the
+ * dedup/backpressure scheduler, graceful drain, and a full
+ * daemon-in-a-thread round trip whose results must be byte-identical
+ * to the offline suite runner.
+ *
+ * Carries the `serve` and `sanitize` CTest labels — the scheduler and
+ * server are the repo's most thread-shaped code, so the tsan preset
+ * runs this whole file under ThreadSanitizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/artifact_cache.hpp"
+#include "core/experiment.hpp"
+#include "core/experiment_request.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/server.hpp"
+#include "util/fingerprint.hpp"
+#include "util/json.hpp"
+#include "util/net.hpp"
+#include "util/status.hpp"
+
+using namespace leakbound;
+using namespace leakbound::serve;
+namespace net = leakbound::util::net;
+
+namespace {
+
+/** A small decoded run request (one fast benchmark). */
+core::ExperimentRequest
+small_request(bool want_payload = false)
+{
+    auto parsed = util::json_parse(
+        R"({"type":"run","benchmarks":["gzip"],"instructions":20000)"
+        + std::string(want_payload ? R"(,"payload":true})" : "}"));
+    EXPECT_TRUE(parsed.has_value());
+    auto decoded = core::decode_experiment_request(parsed.value());
+    EXPECT_TRUE(decoded.has_value()) << decoded.status().to_string();
+    return decoded.take();
+}
+
+/** Gate the suite hook blocks on until the test opens it. */
+struct Gate
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool open = false;
+    std::atomic<std::uint64_t> entered{0};
+
+    core::SuiteJobHook
+    hook()
+    {
+        return [this](const std::string &) {
+            std::unique_lock<std::mutex> lock(mutex);
+            ++entered;
+            cv.wait(lock, [this] { return open; });
+        };
+    }
+
+    void
+    release()
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        open = true;
+        cv.notify_all();
+    }
+};
+
+/** Spin until @p predicate or the deadline; returns whether it held. */
+template <typename F>
+bool
+eventually(F predicate,
+           std::chrono::milliseconds deadline =
+               std::chrono::seconds(10))
+{
+    const auto until = std::chrono::steady_clock::now() + deadline;
+    while (std::chrono::steady_clock::now() < until) {
+        if (predicate())
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return predicate();
+}
+
+/** Parse a rendered response and return its "status" member. */
+std::string
+response_status(const std::string &frame)
+{
+    auto parsed = util::json_parse(frame);
+    EXPECT_TRUE(parsed.has_value()) << frame;
+    return parsed.value().find("status")->string_value();
+}
+
+std::string
+response_kind(const std::string &frame)
+{
+    auto parsed = util::json_parse(frame);
+    EXPECT_TRUE(parsed.has_value()) << frame;
+    const util::JsonValue *kind = parsed.value().find("kind");
+    return kind == nullptr ? "" : kind->string_value();
+}
+
+} // namespace
+
+// -------------------------------------------------------- request decode
+
+TEST(DecodeRequest, AcceptsTheFullSchemaAndAbsorbsStandardEdges)
+{
+    auto parsed = util::json_parse(
+        R"({"type":"run","benchmarks":["gzip","mesa"],)"
+        R"("instructions":50000,"nl_lead_time":32,"collect_l2":true,)"
+        R"("extra_edges":[123,456],"payload":true})");
+    ASSERT_TRUE(parsed.has_value());
+    auto decoded = core::decode_experiment_request(parsed.value());
+    ASSERT_TRUE(decoded.has_value()) << decoded.status().to_string();
+    const core::ExperimentRequest &request = decoded.value();
+    EXPECT_EQ(request.benchmarks,
+              (std::vector<std::string>{"gzip", "mesa"}));
+    EXPECT_EQ(request.config.instructions, 50'000u);
+    EXPECT_EQ(request.config.nl_lead_time, 32u);
+    EXPECT_TRUE(request.config.collect_l2);
+    EXPECT_TRUE(request.want_payload);
+    // standard_edges defaults on: the stock thresholds come first and
+    // the request's own edges ride along.
+    const auto &edges = request.config.extra_edges;
+    EXPECT_GT(edges.size(), 2u);
+    EXPECT_NE(std::find(edges.begin(), edges.end(), 123u), edges.end());
+}
+
+TEST(DecodeRequest, RejectsBadInputWithInvalidArgument)
+{
+    const char *cases[] = {
+        R"({"type":"run"})",                          // no benchmarks
+        R"({"type":"run","benchmarks":[]})",          // empty
+        R"({"type":"run","benchmarks":["nope"]})",    // unknown name
+        R"({"type":"run","benchmarks":[1]})",         // wrong type
+        R"({"type":"run","benchmarks":["gzip"],"instructions":10})",
+        R"({"type":"run","benchmarks":["gzip"],"instructions":-5})",
+        R"({"type":"run","benchmarks":["gzip"],"jobs":4})",
+        R"({"type":"run","benchmarks":["gzip"],"cache_dir":"/x"})",
+        R"({"type":"run","benchmarks":["gzip"],"keep_raw":true})",
+        R"({"type":"run","benchmarks":["gzip"],"typo_key":1})",
+        R"({"type":"run","benchmarks":["gzip"],"extra_edges":[-1]})",
+    };
+    for (const char *text : cases) {
+        auto parsed = util::json_parse(text);
+        ASSERT_TRUE(parsed.has_value()) << text;
+        auto decoded = core::decode_experiment_request(parsed.value());
+        ASSERT_FALSE(decoded.has_value()) << "accepted: " << text;
+        EXPECT_EQ(decoded.status().kind(),
+                  util::ErrorKind::InvalidArgument)
+            << text;
+    }
+}
+
+TEST(DecodeRequest, EnforcesTheDaemonInstructionCeiling)
+{
+    auto parsed = util::json_parse(
+        R"({"type":"run","benchmarks":["gzip"],"instructions":200000})");
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(core::decode_experiment_request(parsed.value(), 200'000)
+                    .has_value());
+    EXPECT_FALSE(
+        core::decode_experiment_request(parsed.value(), 199'999)
+            .has_value());
+}
+
+TEST(DecodeRequest, FingerprintSeparatesWhatMustNotShareResponses)
+{
+    const core::ExperimentRequest plain = small_request(false);
+    const core::ExperimentRequest with_payload = small_request(true);
+    EXPECT_EQ(core::fingerprint_request(plain),
+              core::fingerprint_request(small_request(false)));
+    // A payload-bearing response renders differently, so it must not
+    // join a payload-free dedup group.
+    EXPECT_NE(core::fingerprint_request(plain),
+              core::fingerprint_request(with_payload));
+    // Server-owned knobs are excluded: stamping them cannot split a
+    // dedup group.
+    core::ExperimentRequest stamped = small_request(false);
+    stamped.config.jobs = 7;
+    stamped.config.cache_dir = "/somewhere";
+    stamped.config.ignore_interrupts = true;
+    EXPECT_EQ(core::fingerprint_request(plain),
+              core::fingerprint_request(stamped));
+}
+
+// -------------------------------------------------------------- scheduler
+
+TEST(Scheduler, DedupesConcurrentIdenticalRequestsIntoOneSimulation)
+{
+    constexpr unsigned kClients = 8;
+    Gate gate;
+    SchedulerConfig config;
+    config.workers = 1;
+    config.max_queue = 4;
+    config.before_job = gate.hook();
+    Scheduler scheduler(config);
+
+    std::vector<std::shared_ptr<const std::string>> responses(kClients);
+    std::vector<util::Status> failures(kClients);
+    std::vector<std::thread> clients;
+    for (unsigned i = 0; i < kClients; ++i) {
+        clients.emplace_back([&, i] {
+            auto response = scheduler.submit(small_request());
+            if (response)
+                responses[i] = response.take();
+            else
+                failures[i] = response.status();
+        });
+    }
+
+    // Everyone must be inside submit() before the one simulation is
+    // allowed to proceed, so all eight share the in-flight job.
+    ASSERT_TRUE(eventually([&] {
+        return scheduler.counters().submitted == kClients &&
+               gate.entered.load() >= 1;
+    }));
+    gate.release();
+    for (std::thread &client : clients)
+        client.join();
+
+    const SchedulerCounters counters = scheduler.counters();
+    EXPECT_EQ(counters.simulations, 1u) << "dedup failed: identical "
+                                           "concurrent requests "
+                                           "simulated more than once";
+    EXPECT_EQ(counters.dedup_hits, kClients - 1);
+    EXPECT_EQ(counters.served, kClients);
+    for (unsigned i = 0; i < kClients; ++i) {
+        ASSERT_NE(responses[i], nullptr) << failures[i].to_string();
+        // Byte-identity by construction: the same response object.
+        EXPECT_EQ(responses[i], responses[0]);
+        EXPECT_EQ(*responses[i], *responses[0]);
+        EXPECT_EQ(response_status(*responses[i]), "ok");
+    }
+}
+
+TEST(Scheduler, RejectsPastBoundRequestsOverloadedWithinADeadline)
+{
+    Gate gate;
+    SchedulerConfig config;
+    config.workers = 1;
+    config.max_queue = 1;
+    config.before_job = gate.hook();
+    Scheduler scheduler(config);
+
+    // A: occupies the one worker (blocked at the gate).
+    std::thread a([&] {
+        auto response = scheduler.submit(small_request());
+        EXPECT_TRUE(response.has_value());
+    });
+    ASSERT_TRUE(eventually([&] { return gate.entered.load() == 1; }));
+
+    // B: fills the one queue slot.  Payload=true keeps its fingerprint
+    // distinct from A's so it queues instead of joining A.
+    std::thread b([&] {
+        auto response = scheduler.submit(small_request(true));
+        EXPECT_TRUE(response.has_value());
+    });
+    ASSERT_TRUE(eventually(
+        [&] { return scheduler.counters().queue_depth == 1; }));
+
+    // C: past the bound — must be rejected typed and immediately, not
+    // block behind the stuck worker.
+    core::ExperimentRequest distinct = small_request();
+    distinct.config.nl_lead_time = 99; // distinct fingerprint
+    const auto begun = std::chrono::steady_clock::now();
+    auto rejected = scheduler.submit(std::move(distinct));
+    const auto waited =
+        std::chrono::steady_clock::now() - begun;
+    ASSERT_FALSE(rejected.has_value());
+    EXPECT_EQ(rejected.status().kind(), util::ErrorKind::Overloaded);
+    EXPECT_LT(waited, std::chrono::seconds(5));
+    EXPECT_EQ(scheduler.counters().rejected_overloaded, 1u);
+
+    gate.release();
+    a.join();
+    b.join();
+}
+
+TEST(Scheduler, DrainFailsQueuedJobsAndFinishesInFlightOnes)
+{
+    Gate gate;
+    SchedulerConfig config;
+    config.workers = 1;
+    config.max_queue = 4;
+    config.before_job = gate.hook();
+    Scheduler scheduler(config);
+
+    std::shared_ptr<const std::string> running_response;
+    std::thread a([&] {
+        auto response = scheduler.submit(small_request());
+        ASSERT_TRUE(response.has_value());
+        running_response = response.take();
+    });
+    ASSERT_TRUE(eventually([&] { return gate.entered.load() == 1; }));
+
+    std::shared_ptr<const std::string> queued_response;
+    std::thread b([&] {
+        auto response = scheduler.submit(small_request(true));
+        ASSERT_TRUE(response.has_value());
+        queued_response = response.take();
+    });
+    ASSERT_TRUE(eventually(
+        [&] { return scheduler.counters().queue_depth == 1; }));
+
+    std::thread drainer([&] { scheduler.drain(); });
+    // The queued job fails without waiting for the running one.
+    b.join();
+    ASSERT_NE(queued_response, nullptr);
+    EXPECT_EQ(response_status(*queued_response), "error");
+    EXPECT_EQ(response_kind(*queued_response), "shutting_down");
+
+    gate.release(); // let the in-flight job finish
+    a.join();
+    drainer.join();
+    ASSERT_NE(running_response, nullptr);
+    EXPECT_EQ(response_status(*running_response), "ok")
+        << "an admitted-and-started request must complete on drain";
+
+    // After the drain no new work is admitted.
+    auto late = scheduler.submit(small_request());
+    ASSERT_FALSE(late.has_value());
+    EXPECT_EQ(late.status().kind(), util::ErrorKind::ShuttingDown);
+}
+
+// ----------------------------------------------------------- full daemon
+
+namespace {
+
+/** A Server on an ephemeral loopback port + a serve() thread. */
+class ServeFixture : public ::testing::Test
+{
+  protected:
+    void
+    start(ServerConfig config = {})
+    {
+        config.unix_path.clear();
+        config.listen_tcp = true;
+        config.tcp_port = 0;
+        config.scheduler.workers = 2;
+        server = std::make_unique<Server>(std::move(config));
+        ASSERT_TRUE(server->start().ok());
+        endpoint.tcp_port = server->tcp_port();
+        thread = std::thread([this] {
+            util::Status served = server->serve();
+            EXPECT_TRUE(served.ok()) << served.to_string();
+        });
+    }
+
+    void
+    TearDown() override
+    {
+        if (server)
+            server->request_drain();
+        if (thread.joinable())
+            thread.join();
+    }
+
+    std::unique_ptr<Server> server;
+    std::thread thread;
+    Endpoint endpoint; // tcp 127.0.0.1:<ephemeral>
+};
+
+} // namespace
+
+TEST_F(ServeFixture, RoundTripIsByteIdenticalToTheOfflineSuite)
+{
+    start();
+
+    RunRequest request;
+    request.benchmarks = {"gzip", "mesa"};
+    request.instructions = 20'000;
+    request.want_payload = true;
+    auto response =
+        call_endpoint(endpoint, build_run_request(request));
+    ASSERT_TRUE(response.has_value()) << response.status().to_string();
+    const util::JsonValue &body = response.value();
+    ASSERT_TRUE(body.find("benchmarks")->is_array());
+    const auto &runs = body.find("benchmarks")->array();
+    ASSERT_EQ(runs.size(), 2u);
+
+    // The offline oracle: same knobs through the ordinary suite path.
+    core::ExperimentConfig config;
+    config.instructions = 20'000;
+    config.extra_edges = core::standard_extra_edges();
+    const std::vector<core::ExperimentResult> offline =
+        core::run_suite({"gzip", "mesa"}, config);
+
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const std::string oracle =
+            core::serialize_result(offline[i]);
+        auto payload = hex_decode(
+            runs[i].find("payload")->string_value());
+        ASSERT_TRUE(payload.has_value());
+        EXPECT_EQ(payload.value(), oracle)
+            << "daemon result for " << offline[i].workload
+            << " is not byte-identical to the offline suite";
+        EXPECT_EQ(runs[i].find("result_fnv")->string_value(),
+                  util::hex64(
+                      util::fnv1a(oracle.data(), oracle.size())));
+        // And the payload really deserializes.
+        EXPECT_TRUE(
+            core::deserialize_result(payload.value()).has_value());
+    }
+}
+
+TEST_F(ServeFixture, SurvivesGarbageFramesAndVanishingPeers)
+{
+    start();
+
+    // Garbage JSON inside an intact frame: typed error, session lives.
+    {
+        auto socket = connect_endpoint(endpoint);
+        ASSERT_TRUE(socket.has_value());
+        ASSERT_TRUE(
+            send_frame(socket.value(), "this is not json").ok());
+        auto error = recv_frame(socket.value());
+        ASSERT_TRUE(error.has_value());
+        EXPECT_EQ(response_status(error.value()), "error");
+        EXPECT_EQ(response_kind(error.value()), "corrupt_data");
+        // Same connection still speaks the protocol.
+        auto pong = call(socket.value(), build_ping_request());
+        ASSERT_TRUE(pong.has_value()) << pong.status().to_string();
+    }
+
+    // Unknown type and non-object requests: typed errors.
+    {
+        auto socket = connect_endpoint(endpoint);
+        ASSERT_TRUE(socket.has_value());
+        auto bad_type = call(socket.value(),
+                             R"({"type":"frobnicate"})");
+        ASSERT_FALSE(bad_type.has_value());
+        EXPECT_EQ(bad_type.status().kind(),
+                  util::ErrorKind::InvalidArgument);
+        auto not_object = call(socket.value(), "[1,2,3]");
+        ASSERT_FALSE(not_object.has_value());
+        EXPECT_EQ(not_object.status().kind(),
+                  util::ErrorKind::InvalidArgument);
+    }
+
+    // A peer that dies mid-header.
+    {
+        auto socket = connect_endpoint(endpoint);
+        ASSERT_TRUE(socket.has_value());
+        const unsigned char half[2] = {0x40, 0x00};
+        ASSERT_TRUE(
+            net::send_all(socket.value(), half, sizeof(half)).ok());
+    } // closed here
+
+    // A peer that lies in its length prefix, then dies.
+    {
+        auto socket = connect_endpoint(endpoint);
+        ASSERT_TRUE(socket.has_value());
+        const unsigned char huge[4] = {0xff, 0xff, 0xff, 0x7f};
+        ASSERT_TRUE(
+            net::send_all(socket.value(), huge, sizeof(huge)).ok());
+    }
+
+    // Through all of that the daemon still serves, and counted the
+    // trouble.
+    ASSERT_TRUE(eventually([&] {
+        return server->stats().protocol_errors >= 3;
+    }));
+    auto stats = call_endpoint(endpoint, build_stats_request());
+    ASSERT_TRUE(stats.has_value()) << stats.status().to_string();
+    EXPECT_GE(stats.value().find("protocol_errors")->u64_value(), 3u);
+}
+
+TEST_F(ServeFixture, LoadRunDedupesAndReportsIdenticalResponses)
+{
+    start();
+
+    RunRequest request;
+    request.benchmarks = {"gzip"};
+    request.instructions = 20'000;
+    const LoadReport report = run_load(endpoint, request,
+                                       /*total=*/8, /*concurrency=*/8);
+    EXPECT_EQ(report.sent, 8u);
+    EXPECT_EQ(report.ok, 8u);
+    EXPECT_EQ(report.overloaded, 0u);
+    EXPECT_EQ(report.distinct_fingerprints, 1u);
+    EXPECT_EQ(report.distinct_responses, 1u)
+        << "identical requests produced non-identical response bytes";
+
+    const StatsSnapshot stats = server->stats();
+    EXPECT_EQ(stats.requests_served, 8u);
+    // At least the concurrent overlap deduped; stragglers that arrive
+    // after the first completion re-simulate (and byte-identity holds
+    // regardless, per distinct_responses above).
+    EXPECT_GE(stats.dedup_hits + stats.cache_hits, 1u);
+}
+
+TEST_F(ServeFixture, StatsReportServedAndLatency)
+{
+    start();
+
+    auto pong = call_endpoint(endpoint, build_ping_request());
+    ASSERT_TRUE(pong.has_value());
+
+    RunRequest request;
+    request.benchmarks = {"gzip"};
+    request.instructions = 20'000;
+    auto run = call_endpoint(endpoint, build_run_request(request));
+    ASSERT_TRUE(run.has_value()) << run.status().to_string();
+
+    auto response = call_endpoint(endpoint, build_stats_request());
+    ASSERT_TRUE(response.has_value());
+    const util::JsonValue &stats = response.value();
+    EXPECT_EQ(stats.find("requests_served")->u64_value(), 1u);
+    EXPECT_GE(stats.find("sessions_accepted")->u64_value(), 3u);
+    EXPECT_GT(stats.find("latency_p50_ms")->number_value(), 0.0);
+    EXPECT_GE(stats.find("latency_p99_ms")->number_value(),
+              stats.find("latency_p50_ms")->number_value());
+    EXPECT_GT(stats.find("uptime_seconds")->number_value(), 0.0);
+}

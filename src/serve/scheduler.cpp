@@ -38,11 +38,13 @@ Scheduler::submit(core::ExperimentRequest request)
     }
 
     std::shared_ptr<Job> job;
+    bool joined = false;
     if (auto it = inflight_.find(fingerprint); it != inflight_.end()) {
         // An identical request is already admitted: join it.  The
         // waiter gets the same rendered response object, so dedup
         // groups are byte-identical by construction.
         job = it->second;
+        joined = true;
         ++counters_.dedup_hits;
     } else {
         if (queue_.size() >= config_.max_queue) {
@@ -63,7 +65,15 @@ Scheduler::submit(core::ExperimentRequest request)
     }
 
     cv_.wait(lock, [&] { return job->done; });
-    ++counters_.served;
+    // Every waiter lands in exactly one bucket: served when the run
+    // completed, rejected_shutting_down when drain() failed the job
+    // (drain counts the job's admitting waiter; joiners count here).
+    if (job->failed_by_drain) {
+        if (joined)
+            ++counters_.rejected_shutting_down;
+    } else {
+        ++counters_.served;
+    }
     return job->response;
 }
 
@@ -151,6 +161,7 @@ Scheduler::drain()
                     "daemon drained before this request started")));
             for (const std::shared_ptr<Job> &job : queue_) {
                 job->response = rejected;
+                job->failed_by_drain = true;
                 job->done = true;
                 inflight_.erase(job->fingerprint);
             }

@@ -66,7 +66,7 @@ struct SchedulerConfig
 struct SchedulerCounters
 {
     std::uint64_t submitted = 0;    ///< admission attempts
-    std::uint64_t served = 0;       ///< responses delivered to a waiter
+    std::uint64_t served = 0;       ///< completed-run responses delivered
     std::uint64_t dedup_hits = 0;   ///< joined an in-flight twin
     std::uint64_t cache_hits = 0;   ///< benchmarks loaded from the cache
     std::uint64_t simulations = 0;  ///< suite runs actually executed
@@ -114,6 +114,9 @@ class Scheduler
         std::uint64_t fingerprint = 0;
         bool started = false;
         bool done = false;
+        /** True when drain() failed the job before it ran; its
+         *  waiters are counted as rejected_shutting_down, not served. */
+        bool failed_by_drain = false;
         /** Set exactly once, before done; shared by all waiters. */
         std::shared_ptr<const std::string> response;
     };

@@ -69,6 +69,11 @@ Server::serve()
         listeners.push_back(&tcp_listener_);
 
     while (!drain_requested_.load() && !util::interrupt_requested()) {
+        // Reap on every iteration, not just on poll timeout: under
+        // sustained arrival the poll never times out, and the session
+        // limit must count live sessions, not finished ones.
+        reap_finished_sessions();
+
         const int ready =
             util::net::wait_any_readable(listeners,
                                          config_.poll_interval_ms);
@@ -76,10 +81,8 @@ Server::serve()
             return util::Status(util::ErrorKind::IoError,
                                 "poll on the listeners failed");
         }
-        if (ready < 0) {
-            reap_finished_sessions();
+        if (ready < 0)
             continue;
-        }
 
         auto accepted = util::net::accept_connection(*listeners[
             static_cast<std::size_t>(ready)]);
@@ -91,26 +94,34 @@ Server::serve()
             continue;
         }
 
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++sessions_accepted_;
-        if (sessions_.size() >= config_.max_sessions) {
+        util::net::Socket socket = accepted.take();
+        bool overloaded = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++sessions_accepted_;
+            if (sessions_.size() >= config_.max_sessions) {
+                ++sessions_rejected_;
+                overloaded = true;
+            } else {
+                sessions_.emplace_back();
+                Session &session = sessions_.back();
+                session.socket = std::move(socket);
+                session.thread = std::thread(
+                    [this, &session] { run_session(&session); });
+            }
+        }
+        if (overloaded) {
             // Shed the connection explicitly: one error frame, then
             // close.  The client sees a typed Overloaded, not a hang.
-            ++sessions_rejected_;
-            util::net::Socket socket = accepted.take();
+            // The (blocking) send happens outside mutex_ so a slow
+            // shed peer cannot stall the accept loop or sessions.
             (void)reply(socket,
                         render_error(util::Status(
                             util::ErrorKind::Overloaded,
                             "session limit reached (" +
                                 std::to_string(config_.max_sessions) +
                                 "); retry later")));
-            continue;
         }
-        sessions_.emplace_back();
-        Session &session = sessions_.back();
-        session.socket = accepted.take();
-        session.thread =
-            std::thread([this, &session] { run_session(&session); });
     }
 
     // Drain: no new connections; in-flight experiments finish and

@@ -317,12 +317,26 @@ TEST(Scheduler, DrainFailsQueuedJobsAndFinishesInFlightOnes)
     ASSERT_TRUE(eventually(
         [&] { return scheduler.counters().queue_depth == 1; }));
 
+    // A dedup joiner on the queued job: its waiter must be accounted
+    // as rejected, not served, when the drain fails the job.
+    std::shared_ptr<const std::string> joined_response;
+    std::thread b2([&] {
+        auto response = scheduler.submit(small_request(true));
+        ASSERT_TRUE(response.has_value());
+        joined_response = response.take();
+    });
+    ASSERT_TRUE(eventually(
+        [&] { return scheduler.counters().dedup_hits == 1; }));
+
     std::thread drainer([&] { scheduler.drain(); });
     // The queued job fails without waiting for the running one.
     b.join();
+    b2.join();
     ASSERT_NE(queued_response, nullptr);
     EXPECT_EQ(response_status(*queued_response), "error");
     EXPECT_EQ(response_kind(*queued_response), "shutting_down");
+    ASSERT_NE(joined_response, nullptr);
+    EXPECT_EQ(joined_response, queued_response);
 
     gate.release(); // let the in-flight job finish
     a.join();
@@ -335,6 +349,13 @@ TEST(Scheduler, DrainFailsQueuedJobsAndFinishesInFlightOnes)
     auto late = scheduler.submit(small_request());
     ASSERT_FALSE(late.has_value());
     EXPECT_EQ(late.status().kind(), util::ErrorKind::ShuttingDown);
+
+    // Every waiter landed in exactly one /stats bucket: the running
+    // job's waiter was served; the drained job's two waiters and the
+    // late submit were rejected — never both served and rejected.
+    const SchedulerCounters counters = scheduler.counters();
+    EXPECT_EQ(counters.served, 1u);
+    EXPECT_EQ(counters.rejected_shutting_down, 3u);
 }
 
 // ----------------------------------------------------------- full daemon
@@ -502,6 +523,40 @@ TEST_F(ServeFixture, LoadRunDedupesAndReportsIdenticalResponses)
     // after the first completion re-simulate (and byte-identity holds
     // regardless, per distinct_responses above).
     EXPECT_GE(stats.dedup_hits + stats.cache_hits, 1u);
+}
+
+TEST_F(ServeFixture, ReapsFinishedSessionsUnderSustainedArrival)
+{
+    ServerConfig config;
+    config.max_sessions = 4;
+    start(config);
+
+    // 8x the session cap, back-to-back: each connection completes one
+    // ping and closes before the next opens, so at any moment at most
+    // a few sessions linger unfinished.  The accept loop must reap
+    // finished sessions on every iteration — if it only reaps when the
+    // poll times out, this sustained arrival keeps the poll busy, dead
+    // sessions pile up to the cap, and almost every later connection
+    // is shed Overloaded despite zero live sessions.
+    constexpr unsigned kConnections = 32;
+    unsigned ok = 0;
+    unsigned overloaded = 0;
+    for (unsigned i = 0; i < kConnections; ++i) {
+        auto pong = call_endpoint(endpoint, build_ping_request());
+        if (pong.has_value()) {
+            ++ok;
+        } else {
+            ASSERT_EQ(pong.status().kind(),
+                      util::ErrorKind::Overloaded)
+                << pong.status().to_string();
+            ++overloaded;
+        }
+    }
+    // Buggy reaping rejects ~(kConnections - max_sessions) of these;
+    // a couple of transient rejections from scheduling lag are fine.
+    EXPECT_GE(ok, kConnections - 2u);
+    EXPECT_LE(overloaded, 2u);
+    EXPECT_GE(server->stats().sessions_accepted, kConnections);
 }
 
 TEST_F(ServeFixture, StatsReportServedAndLatency)

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Cold-request latency bench of the analytic fast path, end to end
+ * through leakboundd.
+ *
+ * Starts an in-process daemon, then issues three requests for the
+ * same analyzable benchmark:
+ *
+ *   1. cold, --engine sim       (full simulation)
+ *   2. cold, --engine analytic  (fast path; distinct fingerprint, so
+ *                                the sim entry cannot warm it)
+ *   3. warm, --engine sim       (artifact-cache load, for scale)
+ *
+ * and emits BENCH_analytic.json with the three wall times, the
+ * sim/analytic speedup, and the daemon's engine counters.  The check
+ * the bench enforces (exit 3 otherwise): both cold responses carry
+ * the same result digest — the fast path must be exact, not merely
+ * fast — the analytic request actually committed, and the speedup
+ * clears --min-speedup.  The headline claim is that a *cold* analytic
+ * request costs on the order of a *warm* cache load, not of a fresh
+ * simulation.
+ *
+ * Flags come from the shared core/suite_flags.hpp family; the engine
+ * flag is omitted because this bench pins an engine per request.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "core/artifact_cache.hpp"
+#include "core/suite_flags.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "util/binary_io.hpp"
+#include "util/cli.hpp"
+#include "util/fault_injection.hpp"
+#include "util/interrupt.hpp"
+#include "util/json.hpp"
+#include "util/logging.hpp"
+#include "util/string_utils.hpp"
+#include "workload/spec_suite.hpp"
+
+using namespace leakbound;
+
+namespace {
+
+/** One timed round trip; fatals (after draining) on transport error. */
+struct TimedResponse
+{
+    double seconds = 0.0;
+    std::string result_fnv;
+    std::string engine;
+    bool from_cache = false;
+};
+
+TimedResponse
+timed_call(const serve::Endpoint &endpoint,
+           const serve::RunRequest &request, serve::Server &server,
+           std::thread &serving)
+{
+    const auto begun = std::chrono::steady_clock::now();
+    auto response = serve::call_endpoint(
+        endpoint, serve::build_run_request(request));
+    TimedResponse out;
+    out.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - begun)
+                      .count();
+    if (!response) {
+        server.request_drain();
+        serving.join();
+        util::fatal("request failed: ", response.status().to_string());
+    }
+    const util::JsonValue &body = response.value();
+    const util::JsonValue *runs = body.find("benchmarks");
+    if (runs == nullptr || !runs->is_array() || runs->array().empty()) {
+        server.request_drain();
+        serving.join();
+        util::fatal("malformed run response");
+    }
+    const util::JsonValue &run = runs->array()[0];
+    out.result_fnv = run.find("result_fnv")->string_value();
+    out.engine = run.find("engine")->string_value();
+    out.from_cache = run.find("from_cache")->bool_value();
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    util::install_signal_handlers();
+    util::fault::configure_from_env();
+
+    util::Cli cli("bench_analytic",
+                  "cold analytic vs cold sim request latency");
+    core::SuiteFlagSpec spec;
+    spec.csv_dir = false;
+    spec.suite_passes = false;
+    spec.engine = false; // this bench pins an engine per request
+    spec.default_instructions = 16'000'000;
+    core::register_suite_flags(cli, spec);
+    cli.add_flag("benchmark", "analyzable benchmark to request",
+                 "stream");
+    cli.add_flag("min-speedup",
+                 "fail (exit 3) when sim/analytic falls below this",
+                 "1.0");
+    cli.add_flag("workers", "scheduler suite workers in the daemon",
+                 "2");
+    cli.parse(argc, argv);
+
+    const std::string benchmark = cli.get("benchmark");
+    if (!workload::is_benchmark(benchmark))
+        util::fatal("unknown benchmark \"", benchmark, "\"");
+
+    serve::ServerConfig config;
+    config.listen_tcp = true; // ephemeral loopback port
+    config.scheduler.workers =
+        static_cast<unsigned>(cli.get_u64("workers"));
+    config.scheduler.suite_jobs = core::suite_jobs(cli);
+    config.scheduler.cache_dir =
+        core::resolve_cache_dir(cli.get("cache-dir"));
+
+    serve::Server server(config);
+    if (util::Status started = server.start(); !started.ok())
+        util::fatal("cannot start the daemon: ", started.to_string());
+    std::thread serving([&server] {
+        if (util::Status served = server.serve(); !served.ok())
+            util::warn("serve failed: ", served.to_string());
+    });
+
+    serve::Endpoint endpoint;
+    endpoint.tcp_port = server.tcp_port();
+
+    serve::RunRequest request;
+    request.benchmarks = {benchmark};
+    request.instructions = cli.get_u64("instructions");
+
+    request.engine = "sim";
+    const TimedResponse cold_sim =
+        timed_call(endpoint, request, server, serving);
+    request.engine = "analytic";
+    const TimedResponse cold_analytic =
+        timed_call(endpoint, request, server, serving);
+    request.engine = "sim"; // same fingerprint as the first request
+    const TimedResponse warm_sim =
+        timed_call(endpoint, request, server, serving);
+
+    const serve::StatsSnapshot stats = server.stats();
+    server.request_drain();
+    serving.join();
+
+    const bool digests_equal =
+        !cold_sim.result_fnv.empty() &&
+        cold_sim.result_fnv == cold_analytic.result_fnv;
+    const bool committed = cold_analytic.engine == "analytic" &&
+                           !cold_analytic.from_cache &&
+                           !cold_sim.from_cache && warm_sim.from_cache;
+    const double speedup = cold_analytic.seconds > 0.0
+                               ? cold_sim.seconds / cold_analytic.seconds
+                               : 0.0;
+
+    std::printf("cold sim: %.3fs   cold analytic: %.3fs (%.1fx)   "
+                "warm: %.3fs\ndigests %s, analytic %s\n",
+                cold_sim.seconds, cold_analytic.seconds, speedup,
+                warm_sim.seconds, digests_equal ? "equal" : "DIFFER",
+                committed ? "committed" : "DID NOT COMMIT");
+
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("bench").value("bench_analytic");
+    w.key("description")
+        .value("cold analytic vs cold sim request latency");
+    w.key("flags").begin_object();
+    for (const auto &[name, value] : cli.snapshot())
+        w.key(name).value(value);
+    w.end_object();
+    w.key("benchmark").value(benchmark);
+    w.key("instructions").value(request.instructions);
+    w.key("cold_sim_seconds").value(cold_sim.seconds);
+    w.key("cold_analytic_seconds").value(cold_analytic.seconds);
+    w.key("warm_sim_seconds").value(warm_sim.seconds);
+    w.key("speedup").value(speedup);
+    w.key("digests_equal").value(digests_equal);
+    w.key("analytic_committed").value(committed);
+    w.key("stats").begin_object();
+    w.key("requests_served").value(stats.requests_served);
+    w.key("analytic_runs").value(stats.analytic_runs);
+    w.key("sim_runs").value(stats.sim_runs);
+    w.key("cache_hits").value(stats.cache_hits);
+    w.end_object();
+    w.end_object();
+
+    const std::string contents = w.str() + "\n";
+    const std::string path = cli.get("json");
+    if (!path.empty()) {
+        if (util::Status wrote = util::write_file_atomic(path, contents);
+            !wrote.ok())
+            util::warn("cannot write report: ", wrote.to_string());
+    }
+
+    const double min_speedup = cli.get_double("min-speedup");
+    return digests_equal && committed && speedup >= min_speedup ? 0 : 3;
+}

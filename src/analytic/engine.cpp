@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Implementation of the analytic fast path.
+ */
+
+#include "analytic/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace leakbound::analytic {
+
+namespace {
+
+/**
+ * Minimum instruction spacing between checkpoints.  Signatures cost
+ * O(cache frames) to build, so taking one per fetch group would swamp
+ * short runs; 2048 keeps several checkpoints inside even the small
+ * budgets the differential fuzzer uses.
+ */
+constexpr std::uint64_t kMinCheckpointInstrs = 2048;
+
+/**
+ * Give up detecting after this many checkpoints without a recurrence:
+ * the run then completes as a plain simulation with no further
+ * signature cost.  (Eligible workloads with huge recurrence periods
+ * exist — e.g. pattern cycle lengths coprime to the loop period.)
+ */
+constexpr std::uint64_t kMaxCheckpoints = 4096;
+
+/** k * (b - a), field-wise, for cache statistics. */
+sim::CacheStats
+scaled_stats_diff(const sim::CacheStats &b, const sim::CacheStats &a,
+                  std::uint64_t k)
+{
+    sim::CacheStats out;
+    out.accesses = k * (b.accesses - a.accesses);
+    out.hits = k * (b.hits - a.hits);
+    out.misses = k * (b.misses - a.misses);
+    out.evictions = k * (b.evictions - a.evictions);
+    return out;
+}
+
+} // namespace
+
+std::optional<workload::AnalyticProfile>
+analyzable_profile(const workload::Workload &workload,
+                   const sim::HierarchyConfig &hierarchy, bool keep_raw)
+{
+    if (keep_raw)
+        return std::nullopt; // raw interval lists cannot be extrapolated
+    for (sim::ReplacementKind kind :
+         {hierarchy.l1i.replacement, hierarchy.l1d.replacement,
+          hierarchy.l2.replacement}) {
+        if (kind == sim::ReplacementKind::Random)
+            return std::nullopt; // victim choice draws an RNG
+    }
+    return workload.analytic_profile();
+}
+
+bool
+is_analyzable(const workload::Workload &workload,
+              const sim::HierarchyConfig &hierarchy, bool keep_raw)
+{
+    return analyzable_profile(workload, hierarchy, keep_raw).has_value();
+}
+
+PeriodicFastPath::PeriodicFastPath(const FastPathRefs &refs,
+                                   std::uint64_t total_instructions,
+                                   std::uint64_t period_instructions)
+    : refs_(refs), total_(total_instructions)
+{
+    LEAKBOUND_ASSERT(refs_.workload && refs_.core && refs_.hierarchy &&
+                         refs_.icollector && refs_.dcollector &&
+                         refs_.imonitor && refs_.dmonitor && refs_.stride &&
+                         refs_.isink && refs_.dsink,
+                     "fast path is missing rig references");
+    const std::uint64_t period =
+        period_instructions ? period_instructions : 1;
+    const std::uint64_t factor =
+        std::max<std::uint64_t>(1, (kMinCheckpointInstrs + period - 1) /
+                                       period);
+    step_ = factor * period;
+    next_target_ = step_;
+}
+
+cpu::InOrderCore::GroupHook
+PeriodicFastPath::hook()
+{
+    return [this](const cpu::CoreRunStats &stats) {
+        return on_checkpoint(stats);
+    };
+}
+
+void
+PeriodicFastPath::capture_signature(Cycle now,
+                                    std::vector<std::uint64_t> &out) const
+{
+    // Fixed component order; every temporal value is appended as an
+    // age relative to `now`, so signatures from different absolute
+    // times compare equal iff the systems behave identically from here
+    // on (up to the uniform time translation the warp applies).
+    bool ok = refs_.workload->append_state(out);
+    LEAKBOUND_ASSERT(ok, "eligible workload refused a state snapshot");
+    refs_.core->append_state(out);
+    ok = refs_.hierarchy->l1i().append_state(out) &&
+         refs_.hierarchy->l1d().append_state(out) &&
+         refs_.hierarchy->l2().append_state(out);
+    LEAKBOUND_ASSERT(ok, "eligible cache refused a state snapshot");
+    refs_.icollector->append_state(out, now);
+    refs_.dcollector->append_state(out, now);
+    if (refs_.l2collector)
+        refs_.l2collector->append_state(out, now);
+    refs_.imonitor->append_state(out, now);
+    refs_.dmonitor->append_state(out, now);
+    refs_.stride->append_state(out);
+}
+
+void
+PeriodicFastPath::take_anchor(const cpu::CoreRunStats &stats)
+{
+    Anchor a{scratch_sig_,
+             checkpoints_taken_,
+             stats,
+             refs_.hierarchy->l1i().stats(),
+             refs_.hierarchy->l1d().stats(),
+             refs_.hierarchy->l2().stats(),
+             *refs_.isink,
+             *refs_.dsink,
+             refs_.l2sink
+                 ? std::optional<interval::IntervalHistogramSet>(
+                       *refs_.l2sink)
+                 : std::nullopt};
+    anchor_ = std::move(a);
+}
+
+bool
+PeriodicFastPath::on_checkpoint(const cpu::CoreRunStats &stats)
+{
+    if (done_ || stats.instructions < next_target_)
+        return true;
+    next_target_ += step_;
+    ++checkpoints_taken_;
+
+    scratch_sig_.clear();
+    capture_signature(stats.cycles, scratch_sig_);
+
+    if (anchor_ && scratch_sig_ == anchor_->signature) {
+        commit(stats);
+        return !committed_; // stop the run iff periods were skipped
+    }
+
+    // Brent-style anchoring: move the anchor forward geometrically so
+    // a recurrence of *any* period p is caught within O(p) checkpoints
+    // even when the warm-up prefix is long.
+    if (!anchor_ ||
+        checkpoints_taken_ >= 2 * anchor_->checkpoint_index) {
+        take_anchor(stats);
+    }
+    if (checkpoints_taken_ >= kMaxCheckpoints)
+        done_ = true;
+    return true;
+}
+
+void
+PeriodicFastPath::commit(const cpu::CoreRunStats &stats)
+{
+    const Anchor &a = *anchor_;
+    const std::uint64_t di = stats.instructions - a.core.instructions;
+    const Cycles dc = stats.cycles - a.core.cycles;
+    LEAKBOUND_ASSERT(di > 0, "recurrence with zero instruction delta");
+
+    done_ = true;
+    const std::uint64_t remaining = total_ - stats.instructions;
+    const std::uint64_t k = remaining / di;
+    if (k == 0)
+        return; // less than one period left; nothing to skip
+
+    // Histograms: the sinks currently hold the state at this
+    // checkpoint (B); add k copies of the per-period growth (B - A).
+    refs_.isink->add_scaled_diff(*refs_.isink, a.isink, k);
+    refs_.dsink->add_scaled_diff(*refs_.dsink, a.dsink, k);
+    if (refs_.l2sink)
+        refs_.l2sink->add_scaled_diff(*refs_.l2sink, *a.l2sink, k);
+
+    // Timestamps: proven state equality means every live timestamp was
+    // refreshed within (A, B] (a stale one would have aged the
+    // signature apart), so translating them all by k * dc is exact.
+    const Cycles warp = k * dc;
+    refs_.core->warp_cycles(warp);
+    refs_.icollector->warp(warp);
+    refs_.dcollector->warp(warp);
+    if (refs_.l2collector)
+        refs_.l2collector->warp(warp);
+    refs_.imonitor->warp(warp);
+    refs_.dmonitor->warp(warp);
+    // Caches need no warp: replacement stamps are logical, and the
+    // signature already proved their rank order recurs.
+
+    skipped_core_.instructions = k * di;
+    skipped_core_.cycles = warp;
+    skipped_core_.fetch_groups =
+        k * (stats.fetch_groups - a.core.fetch_groups);
+    skipped_core_.loads = k * (stats.loads - a.core.loads);
+    skipped_core_.stores = k * (stats.stores - a.core.stores);
+    skipped_core_.instr_stall_cycles =
+        k * (stats.instr_stall_cycles - a.core.instr_stall_cycles);
+    skipped_core_.data_stall_cycles =
+        k * (stats.data_stall_cycles - a.core.data_stall_cycles);
+    skipped_l1i_ =
+        scaled_stats_diff(refs_.hierarchy->l1i().stats(), a.l1i, k);
+    skipped_l1d_ =
+        scaled_stats_diff(refs_.hierarchy->l1d().stats(), a.l1d, k);
+    skipped_l2_ =
+        scaled_stats_diff(refs_.hierarchy->l2().stats(), a.l2, k);
+
+    committed_ = true;
+    util::debug("analytic: recurrence at ", stats.instructions,
+                " instrs (period ", di, " instrs / ", dc,
+                " cycles); skipping ", k, " periods");
+}
+
+cpu::CoreRunStats
+PeriodicFastPath::finish(const cpu::CoreRunStats &s1)
+{
+    if (!committed_)
+        return s1; // plain simulation already ran to completion
+
+    const std::uint64_t executed =
+        s1.instructions + skipped_core_.instructions;
+    LEAKBOUND_ASSERT(executed <= total_, "skipped past the budget");
+    const cpu::CoreRunStats s2 = refs_.core->run(total_ - executed);
+
+    cpu::CoreRunStats out;
+    out.instructions = executed + s2.instructions;
+    out.cycles = s2.cycles; // absolute: the core's clock was warped
+    out.fetch_groups = s1.fetch_groups + skipped_core_.fetch_groups +
+                       s2.fetch_groups;
+    out.loads = s1.loads + skipped_core_.loads + s2.loads;
+    out.stores = s1.stores + skipped_core_.stores + s2.stores;
+    out.instr_stall_cycles = s1.instr_stall_cycles +
+                             skipped_core_.instr_stall_cycles +
+                             s2.instr_stall_cycles;
+    out.data_stall_cycles = s1.data_stall_cycles +
+                            skipped_core_.data_stall_cycles +
+                            s2.data_stall_cycles;
+    return out;
+}
+
+void
+PeriodicFastPath::add_skipped(sim::CacheStats &l1i, sim::CacheStats &l1d,
+                              sim::CacheStats &l2) const
+{
+    auto add = [](sim::CacheStats &into, const sim::CacheStats &from) {
+        into.accesses += from.accesses;
+        into.hits += from.hits;
+        into.misses += from.misses;
+        into.evictions += from.evictions;
+    };
+    add(l1i, skipped_l1i_);
+    add(l1d, skipped_l1d_);
+    add(l2, skipped_l2_);
+}
+
+} // namespace leakbound::analytic

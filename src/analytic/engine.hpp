@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Analytic exact-LRU fast path (DESIGN.md §"Analytic engine").
+ *
+ * The whole simulated system — loop-program workload, in-order core,
+ * cache hierarchy, interval collectors, prefetch monitors — is a
+ * deterministic state machine.  When the workload's instruction stream
+ * is exactly periodic (constant trip counts, periodic data patterns)
+ * and every replacement policy is RNG-free, the system's state becomes
+ * periodic too, up to a uniform time translation: after warm-up,
+ * period n+1 replays period n shifted by a constant cycle delta.
+ *
+ * The fast path detects one such recurrence by comparing canonical,
+ * translation-invariant state signatures at checkpoints, then *skips*
+ * the remaining whole periods: histogram contents grow by an integer
+ * multiple of the per-period delta, timestamps are warped forward, and
+ * only the sub-period tail is simulated.  Because a skip is committed
+ * only after proving full state equality, the emitted results are
+ * byte-identical to plain simulation by construction — there is no
+ * approximation to validate, only the equality check.  Workloads that
+ * never recur (or are rejected by the classifier) silently complete as
+ * ordinary simulations: the fallback is exit-code-neutral and exact.
+ */
+
+#ifndef LEAKBOUND_ANALYTIC_ENGINE_HPP
+#define LEAKBOUND_ANALYTIC_ENGINE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cpu/inorder_core.hpp"
+#include "interval/collector.hpp"
+#include "interval/interval_histogram.hpp"
+#include "prefetch/next_line.hpp"
+#include "prefetch/stride.hpp"
+#include "sim/hierarchy.hpp"
+#include "workload/workload.hpp"
+
+namespace leakbound::analytic {
+
+/**
+ * Is (workload, hierarchy, keep_raw) eligible for the fast path?
+ * Returns the workload's analytic profile when:
+ *  - the workload claims a deterministic periodic stream
+ *    (Workload::analytic_profile()), and
+ *  - no cache level uses RNG-driven replacement (Random), and
+ *  - raw interval retention is off (raw lists cannot be extrapolated).
+ * Eligibility is a routing decision, not a correctness claim: an
+ * eligible run that never exhibits a provable recurrence still
+ * completes as a plain simulation.
+ */
+std::optional<workload::AnalyticProfile>
+analyzable_profile(const workload::Workload &workload,
+                   const sim::HierarchyConfig &hierarchy, bool keep_raw);
+
+/** Boolean convenience over analyzable_profile(). */
+bool is_analyzable(const workload::Workload &workload,
+                   const sim::HierarchyConfig &hierarchy, bool keep_raw);
+
+/** Non-owning references to the experiment rig the fast path observes. */
+struct FastPathRefs
+{
+    workload::Workload *workload = nullptr;
+    cpu::InOrderCore *core = nullptr;
+    sim::Hierarchy *hierarchy = nullptr;
+    interval::IntervalCollector *icollector = nullptr;
+    interval::IntervalCollector *dcollector = nullptr;
+    interval::IntervalCollector *l2collector = nullptr; ///< optional
+    prefetch::NextLineMonitor *imonitor = nullptr;
+    prefetch::NextLineMonitor *dmonitor = nullptr;
+    prefetch::StridePredictor *stride = nullptr;
+    interval::IntervalHistogramSet *isink = nullptr;
+    interval::IntervalHistogramSet *dsink = nullptr;
+    interval::IntervalHistogramSet *l2sink = nullptr; ///< optional
+};
+
+/**
+ * The periodicity detector and period skipper.  Usage (see
+ * core/experiment.cpp):
+ *
+ *   PeriodicFastPath fp(refs, N, profile.period_instructions);
+ *   CoreRunStats s1 = core.run(N, fp.hook());
+ *   CoreRunStats stats = fp.finish(s1);   // skips + tail, or s1 as-is
+ *   fp.add_skipped(l1i_stats, l1d_stats, l2_stats);
+ */
+class PeriodicFastPath
+{
+  public:
+    /**
+     * @param refs the rig (all non-optional pointers must be set)
+     * @param total_instructions the run's full instruction budget
+     * @param period_instructions the workload's structural period
+     */
+    PeriodicFastPath(const FastPathRefs &refs,
+                     std::uint64_t total_instructions,
+                     std::uint64_t period_instructions);
+
+    /**
+     * The between-groups observer to pass to InOrderCore::run().  Takes
+     * state signatures at period-aligned checkpoints, compares against
+     * a Brent-style moving anchor, and on a proven recurrence commits
+     * the skip (scaled histogram deltas + timestamp warps) and stops
+     * the run.
+     */
+    cpu::InOrderCore::GroupHook hook();
+
+    /**
+     * Complete the run: when a skip was committed, simulate the
+     * sub-period tail and return the combined statistics (per-field
+     * s1 + k * period-delta + tail); otherwise return @p s1 unchanged
+     * (the run already completed normally).
+     */
+    cpu::CoreRunStats finish(const cpu::CoreRunStats &s1);
+
+    /** Whether a recurrence was proven and periods were skipped. */
+    bool committed() const { return committed_; }
+
+    /** Add the skipped periods' cache traffic into per-level stats. */
+    void add_skipped(sim::CacheStats &l1i, sim::CacheStats &l1d,
+                     sim::CacheStats &l2) const;
+
+  private:
+    /** A checkpoint the detector may commit against. */
+    struct Anchor
+    {
+        std::vector<std::uint64_t> signature;
+        std::uint64_t checkpoint_index = 0;
+        cpu::CoreRunStats core;
+        sim::CacheStats l1i, l1d, l2;
+        interval::IntervalHistogramSet isink;
+        interval::IntervalHistogramSet dsink;
+        std::optional<interval::IntervalHistogramSet> l2sink;
+    };
+
+    bool on_checkpoint(const cpu::CoreRunStats &stats);
+    void capture_signature(Cycle now, std::vector<std::uint64_t> &out) const;
+    void take_anchor(const cpu::CoreRunStats &stats);
+    void commit(const cpu::CoreRunStats &stats);
+
+    FastPathRefs refs_;
+    std::uint64_t total_;
+    std::uint64_t step_;        ///< checkpoint spacing (multiple of L)
+    std::uint64_t next_target_; ///< next checkpoint threshold
+    std::uint64_t checkpoints_taken_ = 0;
+    bool done_ = false;         ///< stop checkpointing (committed or gave up)
+    bool committed_ = false;
+
+    std::optional<Anchor> anchor_;
+    std::vector<std::uint64_t> scratch_sig_;
+
+    // Set by commit(): the per-field totals of the skipped periods.
+    cpu::CoreRunStats skipped_core_{};
+    sim::CacheStats skipped_l1i_{}, skipped_l1d_{}, skipped_l2_{};
+};
+
+} // namespace leakbound::analytic
+
+#endif // LEAKBOUND_ANALYTIC_ENGINE_HPP

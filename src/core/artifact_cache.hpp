@@ -55,6 +55,14 @@ namespace leakbound::core {
 inline constexpr std::uint32_t kArtifactFormatVersion = 1;
 
 /**
+ * Version of the analytic fast path (src/analytic), mixed into config
+ * fingerprints alongside the engine selector.  Bump on any change to
+ * the detector or skip math so entries produced by an older fast path
+ * can never satisfy a newer build's lookups.
+ */
+inline constexpr std::uint64_t kAnalyticEngineVersion = 1;
+
+/**
  * Fingerprint of every ExperimentConfig field that influences
  * simulation output: instruction budget, hierarchy and core geometry,
  * stride table shape, nl_lead_time, collect_l2, and the final

@@ -11,6 +11,7 @@
 #include <memory>
 #include <utility>
 
+#include "analytic/engine.hpp"
 #include "core/artifact_cache.hpp"
 #include "core/inflection.hpp"
 #include "core/policies.hpp"
@@ -82,6 +83,12 @@ class CollectingListener final : public cpu::AccessListener
     {
         l2collector_ = collector;
     }
+
+    /** The L1I next-line monitor (analytic fast-path state capture). */
+    prefetch::NextLineMonitor &imonitor() { return imonitor_; }
+
+    /** The L1D next-line monitor (analytic fast-path state capture). */
+    prefetch::NextLineMonitor &dmonitor() { return dmonitor_; }
 
   private:
     void
@@ -162,8 +169,43 @@ standard_extra_edges()
     return edges;
 }
 
+const char *
+engine_name(Engine engine)
+{
+    switch (engine) {
+      case Engine::Auto:
+        return "auto";
+      case Engine::Analytic:
+        return "analytic";
+      case Engine::Sim:
+        return "sim";
+    }
+    LEAKBOUND_PANIC("unreachable: bad Engine");
+}
+
+std::optional<Engine>
+parse_engine(const std::string &name)
+{
+    if (name == "auto")
+        return Engine::Auto;
+    if (name == "analytic")
+        return Engine::Analytic;
+    if (name == "sim")
+        return Engine::Sim;
+    return std::nullopt;
+}
+
+namespace {
+
+/**
+ * One full experiment over an already-positioned workload.
+ * @param use_analytic arm the periodic fast path (the caller has
+ *        verified eligibility); the run still completes as a plain
+ *        simulation when no recurrence is proven.
+ */
 ExperimentResult
-run_experiment(workload::Workload &workload, const ExperimentConfig &config)
+run_one(workload::Workload &workload, const ExperimentConfig &config,
+        bool use_analytic)
 {
     const auto wall_start = std::chrono::steady_clock::now();
     config.hierarchy.validate();
@@ -198,7 +240,36 @@ run_experiment(workload::Workload &workload, const ExperimentConfig &config)
     }
 
     cpu::InOrderCore core(config.core, &hierarchy, &workload, &listener);
-    result.core = core.run(config.instructions);
+
+    std::optional<analytic::PeriodicFastPath> fastpath;
+    if (use_analytic) {
+        const auto profile = analytic::analyzable_profile(
+            workload, config.hierarchy, config.keep_raw);
+        LEAKBOUND_ASSERT(profile.has_value(),
+                         "fast path armed for an ineligible workload");
+        analytic::FastPathRefs refs;
+        refs.workload = &workload;
+        refs.core = &core;
+        refs.hierarchy = &hierarchy;
+        refs.icollector = &icollector;
+        refs.dcollector = &dcollector;
+        refs.l2collector = l2collector.get();
+        refs.imonitor = &listener.imonitor();
+        refs.dmonitor = &listener.dmonitor();
+        refs.stride = &stride;
+        refs.isink = &result.icache.intervals;
+        refs.dsink = &result.dcache.intervals;
+        refs.l2sink =
+            result.l2cache ? &result.l2cache->intervals : nullptr;
+        fastpath.emplace(refs, config.instructions,
+                         profile->period_instructions);
+        const cpu::CoreRunStats s1 =
+            core.run(config.instructions, fastpath->hook());
+        result.core = fastpath->finish(s1);
+        result.analytic = fastpath->committed();
+    } else {
+        result.core = core.run(config.instructions);
+    }
 
     icollector.finalize(result.core.cycles);
     dcollector.finalize(result.core.cycles);
@@ -206,7 +277,6 @@ run_experiment(workload::Workload &workload, const ExperimentConfig &config)
         l2collector->finalize(result.core.cycles);
         if (config.keep_raw)
             result.l2cache->raw = l2collector->raw();
-        result.l2cache->stats = hierarchy.l2().stats();
     }
     if (config.keep_raw) {
         result.icache.raw = icollector.raw();
@@ -216,13 +286,49 @@ run_experiment(workload::Workload &workload, const ExperimentConfig &config)
     result.icache.stats = hierarchy.l1i().stats();
     result.dcache.stats = hierarchy.l1d().stats();
     result.l2 = hierarchy.l2().stats();
+    if (fastpath) {
+        fastpath->add_skipped(result.icache.stats, result.dcache.stats,
+                              result.l2);
+    }
+    if (result.l2cache)
+        result.l2cache->stats = result.l2;
     result.wall_seconds = std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - wall_start)
                               .count();
 
     util::debug("experiment '", result.workload, "': ",
                 result.core.instructions, " instrs, ", result.core.cycles,
-                " cycles, ipc=", result.core.ipc());
+                " cycles, ipc=", result.core.ipc(),
+                result.analytic ? " (analytic)" : "");
+    return result;
+}
+
+} // namespace
+
+ExperimentResult
+run_experiment(workload::Workload &workload, const ExperimentConfig &config)
+{
+    const bool use_analytic =
+        config.engine != Engine::Sim &&
+        analytic::is_analyzable(workload, config.hierarchy,
+                                config.keep_raw);
+    ExperimentResult result = run_one(workload, config, use_analytic);
+
+#ifndef NDEBUG
+    // Debug builds promote the classifier from debug-checked to
+    // always-verified: every committed fast-path run is replayed as a
+    // plain simulation and the serialized payloads must match byte for
+    // byte.  Release builds trust the commit-time equality proof.
+    if (result.analytic) {
+        workload.reset();
+        const ExperimentResult reference =
+            run_one(workload, config, /*use_analytic=*/false);
+        LEAKBOUND_ASSERT(serialize_result(result) ==
+                             serialize_result(reference),
+                         "analytic fast path diverged from simulation on '",
+                         result.workload, "'");
+    }
+#endif
     return result;
 }
 

@@ -113,6 +113,18 @@ decode_experiment_request(const util::JsonValue &body,
             request.want_payload = value.bool_value();
             continue;
         }
+        if (key == "engine") {
+            if (!value.is_string())
+                return bad_request("'engine' must be a string");
+            const auto engine = parse_engine(value.string_value());
+            if (!engine) {
+                return bad_request("'engine' must be auto, analytic or "
+                                   "sim: '" +
+                                   value.string_value() + "'");
+            }
+            request.config.engine = *engine;
+            continue;
+        }
         if (key == "jobs" || key == "cache_dir" || key == "keep_raw") {
             return bad_request("'" + key +
                                "' is server-owned and cannot be set "

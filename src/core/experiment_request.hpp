@@ -60,7 +60,9 @@ struct ExperimentRequest
  * 1000..@p max_instructions), "nl_lead_time" (u64 cycles),
  * "collect_l2" (bool), "standard_edges" (bool, default true: absorb
  * standard_extra_edges() so any stock policy can evaluate the result),
- * "extra_edges" (u64 array), "payload" (bool).  Anything else —
+ * "extra_edges" (u64 array), "payload" (bool), "engine" ("auto" |
+ * "analytic" | "sim"; results are byte-identical for every choice but
+ * the engine is part of the dedup/cache key).  Anything else —
  * unknown keys, wrong types, out-of-range values, server-owned knobs
  * like "jobs"/"cache_dir"/"keep_raw" — is an InvalidArgument.
  */

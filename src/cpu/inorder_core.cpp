@@ -49,6 +49,12 @@ InOrderCore::peek_op(trace::MicroOp &op)
 CoreRunStats
 InOrderCore::run(std::uint64_t max_instructions)
 {
+    return run(max_instructions, GroupHook());
+}
+
+CoreRunStats
+InOrderCore::run(std::uint64_t max_instructions, const GroupHook &hook)
+{
     CoreRunStats stats;
     const Cycles l1i_hit = hierarchy_->config().l1i.hit_latency;
     const Cycles l1d_hit = hierarchy_->config().l1d.hit_latency;
@@ -127,6 +133,12 @@ InOrderCore::run(std::uint64_t max_instructions)
             stats.data_stall_cycles += stall;
 
         cycle_ += 1 + stall;
+
+        if (hook) {
+            stats.cycles = cycle_;
+            if (!hook(stats))
+                break;
+        }
     }
 
     stats.cycles = cycle_;

@@ -16,6 +16,8 @@
 #define LEAKBOUND_CPU_INORDER_CORE_HPP
 
 #include <cstdint>
+#include <functional>
+#include <vector>
 
 #include "sim/hierarchy.hpp"
 #include "trace/record.hpp"
@@ -95,11 +97,44 @@ class InOrderCore
                 workload::Workload *source,
                 AccessListener *listener = nullptr);
 
+    /**
+     * Observer called between fetch groups with the running stats
+     * (stats.cycles is kept current).  Returning false stops the run
+     * early; the instruction stream position is preserved, so a later
+     * run() continues exactly where this one stopped.
+     */
+    using GroupHook = std::function<bool(const CoreRunStats &)>;
+
     /** Execute up to @p max_instructions; returns run statistics. */
     CoreRunStats run(std::uint64_t max_instructions);
 
+    /** run() with a between-groups observer (see GroupHook). */
+    CoreRunStats run(std::uint64_t max_instructions,
+                     const GroupHook &hook);
+
     /** Current cycle (end-of-run timestamp after run()). */
     Cycle cycle() const { return cycle_; }
+
+    /**
+     * Advance the clock by @p delta without executing anything — the
+     * analytic fast path's time warp across skipped periods.
+     */
+    void warp_cycles(Cycles delta) { cycle_ += delta; }
+
+    /**
+     * Append the fetch stage's mutable state (the buffered lookahead
+     * instruction) to @p out — part of the analytic state signature.
+     */
+    void
+    append_state(std::vector<std::uint64_t> &out) const
+    {
+        out.push_back(have_pending_ ? 1 : 0);
+        out.push_back(have_pending_ ? pending_.pc : 0);
+        out.push_back(have_pending_
+                          ? static_cast<std::uint64_t>(pending_.kind)
+                          : 0);
+        out.push_back(have_pending_ ? pending_.addr : 0);
+    }
 
   private:
     bool fetch_op(trace::MicroOp &op);

@@ -5,7 +5,9 @@
 
 #include "prefetch/next_line.hpp"
 
+#include <algorithm>
 #include <limits>
+#include <utility>
 
 namespace leakbound::prefetch {
 
@@ -42,6 +44,31 @@ NextLineMonitor::covers(Addr block, Cycle open_since, Cycle close_cycle,
     if (hit)
         ++covered_;
     return hit;
+}
+
+void
+NextLineMonitor::append_state(std::vector<std::uint64_t> &out,
+                              Cycle now) const
+{
+    // FlatMap slot order depends on insertion history, so sort by key.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;
+    entries.reserve(last_access_.size());
+    last_access_.for_each([&](std::uint64_t block, std::uint64_t when) {
+        entries.emplace_back(block, now - when);
+    });
+    std::sort(entries.begin(), entries.end());
+    out.push_back(entries.size());
+    for (const auto &[block, age] : entries) {
+        out.push_back(block);
+        out.push_back(age);
+    }
+}
+
+void
+NextLineMonitor::warp(Cycles delta)
+{
+    last_access_.for_each_mut(
+        [delta](std::uint64_t, std::uint64_t &when) { when += delta; });
 }
 
 void

@@ -16,6 +16,8 @@
 #ifndef LEAKBOUND_PREFETCH_NEXT_LINE_HPP
 #define LEAKBOUND_PREFETCH_NEXT_LINE_HPP
 
+#include <vector>
+
 #include "util/flat_map.hpp"
 #include "util/types.hpp"
 
@@ -59,6 +61,20 @@ class NextLineMonitor
 
     /** Forget everything. */
     void reset();
+
+    /**
+     * Append the table as (block, now - last_access) pairs sorted by
+     * block — a canonical, translation-invariant snapshot for the
+     * analytic state signature.  The covered() counter is excluded
+     * (reporting only; it never influences future coverage answers).
+     */
+    void append_state(std::vector<std::uint64_t> &out, Cycle now) const;
+
+    /**
+     * Shift every recorded access time forward by @p delta — the
+     * analytic fast path's time warp across skipped periods.
+     */
+    void warp(Cycles delta);
 
   private:
     util::FlatMap last_access_;

@@ -5,6 +5,8 @@
 
 #include "prefetch/stride.hpp"
 
+#include <algorithm>
+
 #include "util/logging.hpp"
 
 namespace leakbound::prefetch {
@@ -79,6 +81,29 @@ StridePredictor::access(Pc pc, Addr addr, std::uint32_t line_bytes)
     if (predicted)
         ++covered_;
     return predicted;
+}
+
+void
+StridePredictor::append_state(std::vector<std::uint64_t> &out) const
+{
+    // Bounded tables have a fixed layout; the unbounded table's order
+    // is the (deterministic) first-touch order of the PCs, so the raw
+    // layout is already canonical for a deterministic stream.
+    out.push_back(table_.size());
+    for (const Entry &e : table_) {
+        out.push_back(e.valid ? 1 : 0);
+        out.push_back(e.tag);
+        out.push_back(e.last_addr);
+        out.push_back(static_cast<std::uint64_t>(e.stride));
+        // Confidence influences behavior only through the
+        // `confidence >= confirmations` test (a repeat increments, a
+        // break resets to 1 regardless of the old value), so values at
+        // or above the threshold are behaviorally interchangeable.
+        // Clamping keeps a steadily-confirming entry from aging the
+        // signature apart forever.
+        out.push_back(std::min<std::uint64_t>(e.confidence,
+                                              config_.confirmations));
+    }
 }
 
 void

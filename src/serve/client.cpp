@@ -48,6 +48,8 @@ build_run_request(const RunRequest &request)
     }
     if (request.want_payload)
         w.key("payload").value(true);
+    if (request.engine != "auto")
+        w.key("engine").value(request.engine);
     w.end_object();
     return w.str();
 }

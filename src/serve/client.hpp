@@ -46,6 +46,9 @@ struct RunRequest
     bool standard_edges = true;
     std::vector<std::uint64_t> extra_edges;
     bool want_payload = false;
+    /** Execution engine ("auto" | "analytic" | "sim"); "auto" is the
+     *  server default and is omitted from the wire request. */
+    std::string engine = "auto";
 };
 
 /** Render @p request as the wire JSON. */

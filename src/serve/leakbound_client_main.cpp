@@ -68,7 +68,7 @@ main(int argc, char **argv)
     spec.csv_dir = false;
     spec.suite_passes = false;
     spec.default_instructions = 200'000;
-    core::register_suite_flags(cli, spec); // --instructions, --json
+    core::register_suite_flags(cli, spec); // --instructions, --json, --engine
     cli.add_flag("socket", "unix-domain socket of the daemon",
                  "leakboundd.sock");
     cli.add_flag("tcp-host", "TCP address of the daemon", "127.0.0.1");
@@ -117,6 +117,10 @@ main(int argc, char **argv)
     request.nl_lead_time = cli.get_u64("nl-lead-time");
     request.collect_l2 = cli.get_bool("collect-l2");
     request.want_payload = cli.get_bool("payload");
+    request.engine = cli.get("engine");
+    if (!core::parse_engine(request.engine))
+        util::fatal("--engine must be auto, analytic or sim (got \"",
+                    request.engine, "\")");
 
     const std::uint64_t load = cli.get_u64("load");
     if (load == 0) {

@@ -164,6 +164,8 @@ render_stats(const StatsSnapshot &stats)
     w.key("requests_served").value(stats.requests_served);
     w.key("dedup_hits").value(stats.dedup_hits);
     w.key("cache_hits").value(stats.cache_hits);
+    w.key("analytic_runs").value(stats.analytic_runs);
+    w.key("sim_runs").value(stats.sim_runs);
     w.key("rejected_overloaded").value(stats.rejected_overloaded);
     w.key("rejected_shutting_down").value(stats.rejected_shutting_down);
     w.key("protocol_errors").value(stats.protocol_errors);
@@ -214,6 +216,7 @@ render_run_response(const core::SuiteOutcome &outcome,
         w.key("cycles").value(run.core.cycles);
         w.key("ipc").value(run.core.ipc());
         w.key("from_cache").value(run.from_cache);
+        w.key("engine").value(run.analytic ? "analytic" : "sim");
         w.key("result_fnv")
             .value(util::hex64(util::fnv1a(bytes.data(), bytes.size())));
         if (request.want_payload)

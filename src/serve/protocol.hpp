@@ -84,6 +84,8 @@ struct StatsSnapshot
     std::uint64_t requests_served = 0;   ///< run requests answered
     std::uint64_t dedup_hits = 0;        ///< joined an in-flight twin
     std::uint64_t cache_hits = 0;        ///< benchmarks loaded, not simulated
+    std::uint64_t analytic_runs = 0;     ///< benchmarks the fast path skipped
+    std::uint64_t sim_runs = 0;          ///< benchmarks simulated end to end
     std::uint64_t rejected_overloaded = 0;
     std::uint64_t rejected_shutting_down = 0;
     std::uint64_t protocol_errors = 0;   ///< malformed frames/requests

@@ -126,12 +126,23 @@ Scheduler::execute(const core::ExperimentRequest &request,
             request.benchmarks, config, config_.before_job);
 
         std::uint64_t loaded = 0;
-        for (const auto &slot : outcome.slots)
-            if (slot && slot->from_cache)
+        std::uint64_t analytic = 0;
+        std::uint64_t simulated = 0;
+        for (const auto &slot : outcome.slots) {
+            if (!slot)
+                continue;
+            if (slot->from_cache)
                 ++loaded;
+            else if (slot->analytic)
+                ++analytic;
+            else
+                ++simulated;
+        }
         {
             std::lock_guard<std::mutex> lock(mutex_);
             counters_.cache_hits += loaded;
+            counters_.analytic_runs += analytic;
+            counters_.sim_runs += simulated;
         }
         return std::make_shared<const std::string>(
             render_run_response(outcome, request, fingerprint));

@@ -69,6 +69,8 @@ struct SchedulerCounters
     std::uint64_t served = 0;       ///< completed-run responses delivered
     std::uint64_t dedup_hits = 0;   ///< joined an in-flight twin
     std::uint64_t cache_hits = 0;   ///< benchmarks loaded from the cache
+    std::uint64_t analytic_runs = 0; ///< benchmarks the fast path skipped
+    std::uint64_t sim_runs = 0;     ///< benchmarks simulated end to end
     std::uint64_t simulations = 0;  ///< suite runs actually executed
     std::uint64_t rejected_overloaded = 0;
     std::uint64_t rejected_shutting_down = 0;

@@ -268,6 +268,8 @@ Server::stats() const
     snapshot.requests_served = counters.served;
     snapshot.dedup_hits = counters.dedup_hits;
     snapshot.cache_hits = counters.cache_hits;
+    snapshot.analytic_runs = counters.analytic_runs;
+    snapshot.sim_runs = counters.sim_runs;
     snapshot.rejected_overloaded = counters.rejected_overloaded;
     snapshot.rejected_shutting_down = counters.rejected_shutting_down;
     snapshot.queue_depth = counters.queue_depth;

@@ -90,6 +90,27 @@ Cache::block_in_frame(FrameId frame) const
     return valid_[frame] ? tags_[frame] : kInvalidAddr;
 }
 
+bool
+Cache::append_state(std::vector<std::uint64_t> &out) const
+{
+    for (std::size_t i = 0; i < tags_.size(); ++i)
+        out.push_back(valid_[i] ? tags_[i] : kInvalidAddr);
+    // Validity packed separately: an invalid frame and a resident
+    // kInvalidAddr tag must not compare equal (the latter cannot occur
+    // with real addresses, but keep the snapshot self-contained).
+    std::uint64_t word = 0;
+    for (std::size_t i = 0; i < valid_.size(); ++i) {
+        word = (word << 1) | (valid_[i] ? 1 : 0);
+        if ((i & 63) == 63) {
+            out.push_back(word);
+            word = 0;
+        }
+    }
+    if (valid_.size() & 63)
+        out.push_back(word);
+    return repl_->append_state(out);
+}
+
 void
 Cache::reset()
 {

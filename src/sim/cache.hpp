@@ -81,6 +81,15 @@ class Cache
     /** Invalidate everything and clear statistics. */
     void reset();
 
+    /**
+     * Append the cache's decision state (resident tags, validity, and
+     * the replacement policy's canonical recency order) to @p out;
+     * @return false when the replacement policy is not snapshot-able
+     * (Random).  Statistics are excluded — they never influence future
+     * behaviour.
+     */
+    bool append_state(std::vector<std::uint64_t> &out) const;
+
   private:
     CacheConfig config_;
     // Geometry precomputed once at construction (all geometries are

@@ -5,11 +5,36 @@
 
 #include "sim/replacement.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "util/logging.hpp"
 
 namespace leakbound::sim {
 
 namespace {
+
+/**
+ * Canonicalize a stamp grid as per-set way permutations sorted by
+ * (stamp, way).  The victim scan takes the strict minimum from way 0
+ * upward, so ties break toward the lowest way — exactly the order this
+ * sort produces; two states with equal rank orders make identical
+ * decisions forever regardless of absolute stamp values.
+ */
+void
+append_rank_state(const std::vector<std::uint64_t> &stamp,
+                  std::uint64_t sets, std::uint32_t ways,
+                  std::vector<std::uint64_t> &out)
+{
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> order(ways);
+    for (std::uint64_t set = 0; set < sets; ++set) {
+        for (std::uint32_t w = 0; w < ways; ++w)
+            order[w] = {stamp[set * ways + w], w};
+        std::sort(order.begin(), order.end());
+        for (const auto &[s, w] : order)
+            out.push_back(w);
+    }
+}
 
 /**
  * True LRU via a per-frame logical timestamp.  The timestamp counter
@@ -50,6 +75,13 @@ class LruPolicy final : public ReplacementPolicy
         return victim;
     }
 
+    bool
+    append_state(std::vector<std::uint64_t> &out) const override
+    {
+        append_rank_state(stamp_, sets_, ways_, out);
+        return true;
+    }
+
   private:
     std::vector<std::uint64_t> stamp_;
     std::uint64_t clock_ = 0;
@@ -85,6 +117,13 @@ class FifoPolicy final : public ReplacementPolicy
             }
         }
         return victim;
+    }
+
+    bool
+    append_state(std::vector<std::uint64_t> &out) const override
+    {
+        append_rank_state(stamp_, sets_, ways_, out);
+        return true;
     }
 
   private:

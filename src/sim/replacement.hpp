@@ -40,6 +40,22 @@ class ReplacementPolicy
     /** Pick the victim way in @p set (all ways are valid). */
     virtual std::uint32_t victim_way(std::uint64_t set) = 0;
 
+    /**
+     * Append a canonical snapshot of the policy's decision state to
+     * @p out; @return false when the policy's future decisions are not
+     * a pure function of appendable state (Random draws an RNG), which
+     * disqualifies the cache from the analytic fast path.  Stamp-based
+     * policies append per-set way permutations in recency-rank order:
+     * absolute stamp values are irrelevant, only their order decides
+     * victims.
+     */
+    virtual bool
+    append_state(std::vector<std::uint64_t> &out) const
+    {
+        (void)out;
+        return false;
+    }
+
   protected:
     std::uint64_t sets_;
     std::uint32_t ways_;

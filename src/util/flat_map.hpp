@@ -81,6 +81,32 @@ class FlatMap
     /** Number of stored keys. */
     std::size_t size() const { return size_; }
 
+    /**
+     * Visit every (key, value) pair in unspecified (slot) order.
+     * @param fn invoked as fn(key, value).
+     */
+    template <typename Fn>
+    void
+    for_each(Fn &&fn) const
+    {
+        for (const Slot &s : slots_)
+            if (s.key != kEmpty)
+                fn(s.key, s.value);
+    }
+
+    /**
+     * Visit every pair with a mutable value reference, in unspecified
+     * order.  @param fn invoked as fn(key, value&); keys are immutable.
+     */
+    template <typename Fn>
+    void
+    for_each_mut(Fn &&fn)
+    {
+        for (Slot &s : slots_)
+            if (s.key != kEmpty)
+                fn(s.key, s.value);
+    }
+
     /** Drop everything, keeping capacity. */
     void
     clear()

@@ -34,6 +34,13 @@ class SequentialPattern final : public DataPattern
 
     void reset() override { offset_ = 0; }
 
+    bool
+    append_state(std::vector<std::uint64_t> &out) const override
+    {
+        out.push_back(offset_);
+        return true;
+    }
+
   private:
     Addr base_;
     std::uint64_t region_;
@@ -74,6 +81,14 @@ class StridedPattern final : public DataPattern
     {
         index_ = 0;
         phase_ = 0;
+    }
+
+    bool
+    append_state(std::vector<std::uint64_t> &out) const override
+    {
+        out.push_back(index_);
+        out.push_back(phase_);
+        return true;
     }
 
   private:
@@ -143,6 +158,13 @@ class PointerChasePattern final : public DataPattern
     }
 
     void reset() override { current_ = 0; }
+
+    bool
+    append_state(std::vector<std::uint64_t> &out) const override
+    {
+        out.push_back(current_);
+        return true;
+    }
 
   private:
     Addr base_;

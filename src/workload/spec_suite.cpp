@@ -343,6 +343,110 @@ make_vortex(std::uint64_t seed)
     return std::make_unique<CompositeWorkload>("vortex", std::move(phases));
 }
 
+/**
+ * stream: a STREAM-like copy/scale/add kernel.  Constant trip counts
+ * and purely sequential data patterns make it exactly periodic — the
+ * analytic engine's bread-and-butter case.  Pattern cycles are short
+ * powers of two so the full system state recurs within a few top-level
+ * passes.
+ */
+WorkloadPtr
+make_stream(std::uint64_t seed)
+{
+    // Pattern cycles are 16 accesses (128B regions): the full system
+    // state then recurs within ~16 checkpoint periods, so the fast
+    // path commits early even under modest instruction budgets.
+    std::vector<DataPatternPtr> patterns;
+    patterns.push_back(make_sequential(heap(0), 128, 8)); // 0 src a
+    patterns.push_back(make_sequential(heap(1), 128, 8)); // 1 src b
+    patterns.push_back(make_sequential(heap(2), 128, 8)); // 2 dst
+    patterns.push_back(make_sequential(heap(3), 128, 8)); // 3 coeffs
+
+    std::vector<NodeSpec> body;
+    body.push_back(NodeSpec::make_loop(
+        16, 16,
+        {NodeSpec::make_block({32, 0.40, 0.00, 0}),
+         NodeSpec::make_block({32, 0.40, 0.00, 1}),
+         NodeSpec::make_loop(8, 8,
+                             {NodeSpec::make_block({16, 0.35, 0.90, 2})}),
+         NodeSpec::make_block({16, 0.30, 0.00, 3})}));
+
+    return std::make_unique<LoopProgram>(
+        "stream", kCodeBase, std::move(body), std::move(patterns), seed);
+}
+
+/**
+ * stencil: constant-trip sweeps at unit, row and plane strides over one
+ * grid.  The 4KB-stride plane walk aliases a single L1 set — the
+ * set-conflict case the differential fuzzer also probes — while
+ * staying exactly periodic.
+ */
+WorkloadPtr
+make_stencil(std::uint64_t seed)
+{
+    // A strided walk visits every element once per full cycle, so the
+    // cycle length IS the element count; short power-of-two cycles
+    // (16/32/32/16 accesses) keep the state recurrence quick.  The
+    // "planes" walk uses 512-byte elements with an 8-element stride, so
+    // each reference still hops 4KB — whole-way set aliasing — while
+    // cycling in 32 accesses.
+    std::vector<DataPatternPtr> patterns;
+    patterns.push_back(make_sequential(heap(0), 128, 8));  // 0 unit
+    patterns.push_back(make_strided(heap(0), 32, 8, 4));   // 1 rows
+    patterns.push_back(make_strided(heap(0), 32, 512, 8)); // 2 planes
+    patterns.push_back(make_sequential(heap(1), 128, 8));  // 3 rhs
+
+    std::vector<NodeSpec> body;
+    body.push_back(NodeSpec::make_loop(
+        12, 12,
+        {NodeSpec::make_block({40, 0.35, 0.10, 0}),
+         NodeSpec::make_block({32, 0.30, 0.10, 1}),
+         NodeSpec::make_loop(6, 6,
+                             {NodeSpec::make_block({24, 0.30, 0.40, 2})}),
+         NodeSpec::make_block({24, 0.35, 0.60, 3})}));
+
+    return std::make_unique<LoopProgram>(
+        "stencil", kCodeBase, std::move(body), std::move(patterns), seed);
+}
+
+/**
+ * chase: linked-list traversal over fixed permutation cycles.  The
+ * chase order is random but frozen at construction, so the stream is
+ * still exactly periodic — the least cache-friendly workload the
+ * analytic engine still claims.
+ */
+WorkloadPtr
+make_chase(std::uint64_t seed)
+{
+    // 32- and 16-node cycles: irregular within the period, exactly
+    // periodic across it, and quick to recur.
+    std::vector<DataPatternPtr> patterns;
+    patterns.push_back(make_pointer_chase(heap(0), 32, 64, seed ^ 1)); // 0
+    patterns.push_back(make_pointer_chase(heap(1), 16, 128, seed ^ 2)); // 1
+    patterns.push_back(make_sequential(heap(2), 128, 8));               // 2
+
+    std::vector<NodeSpec> body;
+    body.push_back(NodeSpec::make_loop(
+        16, 16,
+        {NodeSpec::make_block({40, 0.40, 0.15, 0}),
+         NodeSpec::make_loop(4, 4,
+                             {NodeSpec::make_block({24, 0.35, 0.20, 1})}),
+         NodeSpec::make_block({24, 0.30, 0.30, 2})}));
+
+    return std::make_unique<LoopProgram>(
+        "chase", kCodeBase, std::move(body), std::move(patterns), seed);
+}
+
+/** The analytically-eligible extras: servable via make_benchmark but
+ *  kept out of suite_names() so stock suite reports are unchanged. */
+const std::vector<std::string> &
+analytic_names()
+{
+    static const std::vector<std::string> names = {"stream", "stencil",
+                                                   "chase"};
+    return names;
+}
+
 } // namespace
 
 const std::vector<std::string> &
@@ -357,7 +461,10 @@ bool
 is_benchmark(const std::string &name)
 {
     const auto &names = suite_names();
-    return std::find(names.begin(), names.end(), name) != names.end();
+    if (std::find(names.begin(), names.end(), name) != names.end())
+        return true;
+    const auto &extras = analytic_names();
+    return std::find(extras.begin(), extras.end(), name) != extras.end();
 }
 
 WorkloadPtr
@@ -375,8 +482,15 @@ make_benchmark(const std::string &name, std::uint64_t seed)
         return make_mesa(seed ? seed : 0xa005);
     if (name == "vortex")
         return make_vortex(seed ? seed : 0xa006);
+    if (name == "stream")
+        return make_stream(seed ? seed : 0xa007);
+    if (name == "stencil")
+        return make_stencil(seed ? seed : 0xa008);
+    if (name == "chase")
+        return make_chase(seed ? seed : 0xa009);
     util::fatal("unknown benchmark '", name,
-                "' (expected one of ammp, applu, gcc, gzip, mesa, vortex)");
+                "' (expected one of ammp, applu, gcc, gzip, mesa, "
+                "vortex, stream, stencil, chase)");
 }
 
 WorkloadPtr

@@ -1,0 +1,405 @@
+/**
+ * @file
+ * Differential fuzzing of the analytic fast path against the
+ * simulator (ISSUE: the analytic engine's acceptance gate).
+ *
+ * The analytic engine claims byte-identity: for any workload it
+ * commits a period skip on, serialize_result(analytic) must equal
+ * serialize_result(simulated) exactly.  This harness generates
+ * thousands of seeded random LoopPrograms — across cache geometries,
+ * with zero-trip and single-iteration loops, and with set-aliasing
+ * strides — runs each under Engine::Analytic and Engine::Sim, and
+ * compares the serialized payloads byte for byte.  On a mismatch it
+ * prints the failing seed plus a greedily minimized program so the
+ * failure is directly re-runnable.
+ *
+ * The fuzzer also counts commits: byte-identity would hold vacuously
+ * if the fast path never engaged, so the corpus must make it commit a
+ * healthy number of times.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analytic/engine.hpp"
+#include "core/artifact_cache.hpp"
+#include "core/experiment.hpp"
+#include "util/random.hpp"
+#include "workload/data_pattern.hpp"
+#include "workload/loop_program.hpp"
+#include "workload/spec_suite.hpp"
+
+using namespace leakbound;
+using namespace leakbound::core;
+using workload::BlockSpec;
+using workload::NodeSpec;
+
+namespace {
+
+constexpr Addr kCodeBase = 0x0040'0000;
+constexpr Addr kHeapBase = 0x1000'0000;
+
+/** One pattern-pool entry, regenerable (the minimizer rebuilds). */
+struct PatternSpec
+{
+    enum class Kind { Sequential, Strided, Chase } kind;
+    std::uint64_t a = 0; ///< region bytes / elements / nodes
+    std::uint64_t b = 0; ///< step / stride / node bytes
+    std::uint64_t seed = 0;
+};
+
+/** A regenerable fuzz program: spec tree + pattern pool + geometry. */
+struct ProgramSpec
+{
+    std::uint64_t seed = 0;
+    std::vector<NodeSpec> nodes;
+    std::vector<PatternSpec> patterns;
+    sim::HierarchyConfig hierarchy;
+    std::uint64_t instructions = 0;
+};
+
+workload::DataPatternPtr
+build_pattern(const PatternSpec &spec, std::size_t index)
+{
+    const Addr base = kHeapBase + static_cast<Addr>(index) * (1 << 22);
+    switch (spec.kind) {
+      case PatternSpec::Kind::Sequential:
+        return workload::make_sequential(
+            base, spec.a, static_cast<std::uint32_t>(spec.b));
+      case PatternSpec::Kind::Strided:
+        return workload::make_strided(base, spec.a, 8, spec.b);
+      case PatternSpec::Kind::Chase:
+        return workload::make_pointer_chase(
+            base, spec.a, static_cast<std::uint32_t>(spec.b), spec.seed);
+    }
+    return nullptr;
+}
+
+workload::WorkloadPtr
+build_program(const ProgramSpec &spec)
+{
+    std::vector<workload::DataPatternPtr> pool;
+    for (std::size_t i = 0; i < spec.patterns.size(); ++i)
+        pool.push_back(build_pattern(spec.patterns[i], i));
+    // Copy the node tree: LoopProgram consumes it.
+    std::vector<NodeSpec> nodes = spec.nodes;
+    return std::make_unique<workload::LoopProgram>(
+        "fuzz", kCodeBase, std::move(nodes), std::move(pool), spec.seed);
+}
+
+/**
+ * Small geometries keep 2000+ simulations fast while still exercising
+ * direct-mapped, low- and high-associativity shapes, multiple line
+ * sizes and an L2 that is sometimes barely bigger than the L1s.
+ */
+sim::HierarchyConfig
+random_hierarchy(util::Rng &rng)
+{
+    sim::HierarchyConfig h;
+    const std::uint32_t line = 32u << rng.next_below(2); // 32 or 64
+
+    h.l1i.name = "fz-l1i";
+    h.l1i.line_bytes = line;
+    h.l1i.associativity = 1u << rng.next_below(3); // 1, 2, 4
+    h.l1i.size_bytes =
+        (1024u << rng.next_below(3)) * h.l1i.associativity;
+    h.l1i.hit_latency = 1;
+
+    h.l1d.name = "fz-l1d";
+    h.l1d.line_bytes = line;
+    h.l1d.associativity = 1u << rng.next_below(3);
+    h.l1d.size_bytes =
+        (1024u << rng.next_below(3)) * h.l1d.associativity;
+    h.l1d.hit_latency = 1 + rng.next_below(3);
+
+    h.l2.name = "fz-l2";
+    h.l2.line_bytes = line;
+    h.l2.associativity = 1u << rng.next_below(4); // 1..8
+    h.l2.size_bytes =
+        (8192u << rng.next_below(3)) * h.l2.associativity;
+    h.l2.hit_latency = 5 + rng.next_below(5);
+
+    // FIFO is RNG-free and analytically eligible; mix it in.
+    if (rng.next_bool(0.25))
+        h.l1d.replacement = sim::ReplacementKind::Fifo;
+    if (rng.next_bool(0.25))
+        h.l2.replacement = sim::ReplacementKind::Fifo;
+
+    h.memory_latency = 20 + rng.next_below(80);
+    return h;
+}
+
+PatternSpec
+random_pattern(util::Rng &rng)
+{
+    PatternSpec p{};
+    switch (rng.next_below(3)) {
+      case 0:
+        p.kind = PatternSpec::Kind::Sequential;
+        p.a = 512u << rng.next_below(5); // 512B..8KB region
+        p.b = 4u << rng.next_below(2);   // 4 or 8 byte step
+        break;
+      case 1:
+        p.kind = PatternSpec::Kind::Strided;
+        p.a = 256u << rng.next_below(4); // 256..2048 elements
+        // Large power-of-two element strides produce the set-aliasing
+        // walks the issue calls out (stride * 8B spans whole sets).
+        p.b = 1u << rng.next_below(10); // 1..512 elements
+        break;
+      default:
+        p.kind = PatternSpec::Kind::Chase;
+        p.a = 16u << rng.next_below(5); // 16..256 nodes
+        p.b = 32u << rng.next_below(3); // 32..128 byte nodes
+        p.seed = rng.next_u64();
+        break;
+    }
+    return p;
+}
+
+/** A constant-trip node tree of depth <= 3 with adversarial shapes. */
+NodeSpec
+random_node(util::Rng &rng, int depth, std::size_t num_patterns)
+{
+    const bool leaf = depth >= 3 || rng.next_bool(0.45);
+    if (leaf) {
+        BlockSpec block;
+        block.instrs = static_cast<std::uint32_t>(rng.next_in(4, 48));
+        block.store_fraction = rng.next_double();
+        if (rng.next_bool(0.8)) {
+            block.pattern =
+                static_cast<int>(rng.next_below(num_patterns));
+            block.mem_fraction = 0.1 + 0.5 * rng.next_double();
+        } else {
+            block.pattern = -1; // pure compute block
+            block.mem_fraction = 0.0;
+        }
+        return NodeSpec::make_block(block);
+    }
+    std::uint64_t trips;
+    const std::uint64_t shape = rng.next_below(8);
+    if (shape == 0)
+        trips = 0; // zero-trip: emits nothing, still draws its count
+    else if (shape == 1)
+        trips = 1; // single-iteration
+    else
+        trips = rng.next_in(2, 12);
+    const std::size_t children = rng.next_in(1, 3);
+    std::vector<NodeSpec> body;
+    for (std::size_t i = 0; i < children; ++i)
+        body.push_back(random_node(rng, depth + 1, num_patterns));
+    return NodeSpec::make_loop(trips, trips, std::move(body));
+}
+
+ProgramSpec
+random_program(std::uint64_t seed)
+{
+    util::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+    ProgramSpec spec;
+    spec.seed = seed;
+    const std::size_t npatterns = rng.next_in(1, 4);
+    for (std::size_t i = 0; i < npatterns; ++i)
+        spec.patterns.push_back(random_pattern(rng));
+    const std::size_t nnodes = rng.next_in(1, 4);
+    for (std::size_t i = 0; i < nnodes; ++i)
+        spec.nodes.push_back(random_node(rng, 0, npatterns));
+    spec.hierarchy = random_hierarchy(rng);
+    // Budgets straddle the checkpoint spacing: some runs end before the
+    // first checkpoint, some commit and skip dozens of periods.
+    spec.instructions = 6'000 + rng.next_below(34'000);
+    return spec;
+}
+
+ExperimentConfig
+config_for(const ProgramSpec &spec, Engine engine)
+{
+    ExperimentConfig config;
+    config.instructions = spec.instructions;
+    config.hierarchy = spec.hierarchy;
+    config.engine = engine;
+    return config;
+}
+
+/** Run one spec under both engines; true iff payloads are identical.
+ *  @param committed set to whether the analytic run actually skipped. */
+bool
+equivalent(const ProgramSpec &spec, bool *committed = nullptr)
+{
+    auto analytic_workload = build_program(spec);
+    const ExperimentResult analytic = run_experiment(
+        *analytic_workload, config_for(spec, Engine::Analytic));
+    auto sim_workload = build_program(spec);
+    const ExperimentResult simulated =
+        run_experiment(*sim_workload, config_for(spec, Engine::Sim));
+    if (committed)
+        *committed = analytic.analytic;
+    return serialize_result(analytic) == serialize_result(simulated);
+}
+
+std::string
+describe_node(const NodeSpec &node)
+{
+    if (node.kind == NodeSpec::Kind::Block) {
+        char buf[128];
+        std::snprintf(buf, sizeof buf, "block{instrs=%u mem=%.2f p=%d}",
+                      node.block.instrs, node.block.mem_fraction,
+                      node.block.pattern);
+        return buf;
+    }
+    std::string out =
+        "loop{trips=" + std::to_string(node.min_trips) + " [";
+    for (const NodeSpec &child : node.body)
+        out += describe_node(child) + " ";
+    out += "]}";
+    return out;
+}
+
+/**
+ * Greedy structural minimization: repeatedly drop top-level nodes and
+ * pool patterns while the mismatch persists, then print what is left.
+ */
+std::string
+minimize_and_describe(ProgramSpec spec)
+{
+    bool shrunk = true;
+    while (shrunk) {
+        shrunk = false;
+        for (std::size_t i = 0; i < spec.nodes.size() && spec.nodes.size() > 1;
+             ++i) {
+            ProgramSpec candidate = spec;
+            candidate.nodes.erase(candidate.nodes.begin() +
+                                  static_cast<std::ptrdiff_t>(i));
+            if (!equivalent(candidate)) {
+                spec = std::move(candidate);
+                shrunk = true;
+                break;
+            }
+        }
+    }
+    std::string out = "seed=" + std::to_string(spec.seed) +
+                      " instructions=" +
+                      std::to_string(spec.instructions) + "\n";
+    for (const NodeSpec &node : spec.nodes)
+        out += "  " + describe_node(node) + "\n";
+    out += "  patterns=" + std::to_string(spec.patterns.size()) +
+           " l1i=" + std::to_string(spec.hierarchy.l1i.size_bytes) +
+           "B/" + std::to_string(spec.hierarchy.l1i.associativity) +
+           "w l1d=" + std::to_string(spec.hierarchy.l1d.size_bytes) +
+           "B/" + std::to_string(spec.hierarchy.l1d.associativity) +
+           "w l2=" + std::to_string(spec.hierarchy.l2.size_bytes) + "B";
+    return out;
+}
+
+} // namespace
+
+/**
+ * The main gate: 1000 random programs, every one byte-identical across
+ * engines, with a non-trivial number of actual fast-path commits.
+ */
+TEST(AnalyticEquivalence, FuzzedProgramsAreByteIdentical)
+{
+    constexpr std::uint64_t kPrograms = 1000;
+    std::uint64_t commits = 0;
+    for (std::uint64_t seed = 1; seed <= kPrograms; ++seed) {
+        const ProgramSpec spec = random_program(seed);
+        bool committed = false;
+        if (!equivalent(spec, &committed)) {
+            FAIL() << "analytic/sim divergence; minimized:\n"
+                   << minimize_and_describe(spec);
+        }
+        commits += committed ? 1 : 0;
+    }
+    // Byte-identity must not be vacuous: the corpus has to drive the
+    // fast path through real commits (observed: several hundred).
+    EXPECT_GE(commits, 50u) << "fast path almost never engaged";
+    EXPECT_LT(commits, kPrograms) << "fallback path never exercised";
+}
+
+/** Zero-trip-only programs: the stream is pure latches. */
+TEST(AnalyticEquivalence, ZeroTripLoopsOnly)
+{
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        ProgramSpec spec = random_program(seed);
+        spec.nodes.clear();
+        spec.nodes.push_back(NodeSpec::make_loop(
+            0, 0, {NodeSpec::make_block({16, 0.5, 0.2, 0})}));
+        spec.nodes.push_back(NodeSpec::make_loop(
+            1, 1, {NodeSpec::make_block({8, 0.4, 0.1, 0})}));
+        // Pin the pool to one short-cycle sequential pattern and give
+        // the run room for several checkpoints: state recurrence is
+        // then guaranteed well inside the budget, so these must all
+        // commit (the random corpus covers the fallback side).
+        spec.patterns.clear();
+        PatternSpec seq{};
+        seq.kind = PatternSpec::Kind::Sequential;
+        seq.a = 128;
+        seq.b = 8;
+        spec.patterns.push_back(seq);
+        spec.instructions = 200'000;
+        bool committed = false;
+        EXPECT_TRUE(equivalent(spec, &committed)) << "seed " << seed;
+        EXPECT_TRUE(committed) << "seed " << seed;
+    }
+}
+
+/** Single-line programs whose strides alias one cache set. */
+TEST(AnalyticEquivalence, SetAliasingStrides)
+{
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        ProgramSpec spec = random_program(seed);
+        spec.patterns.clear();
+        PatternSpec alias{};
+        alias.kind = PatternSpec::Kind::Strided;
+        alias.a = 2048;
+        // 512-element (4KB) stride: every reference lands in the same
+        // set of the small fuzz L1Ds.
+        alias.b = 512;
+        spec.patterns.push_back(alias);
+        spec.nodes.clear();
+        spec.nodes.push_back(NodeSpec::make_loop(
+            6, 6, {NodeSpec::make_block({24, 0.6, 0.3, 0})}));
+        EXPECT_TRUE(equivalent(spec)) << "seed " << seed;
+    }
+}
+
+/**
+ * Identical suite-level results under auto vs sim: the wire the bench
+ * binaries use.  Also checks that the two engines occupy different
+ * artifact-cache key spaces.
+ */
+TEST(AnalyticEquivalence, AutoMatchesSimOnEligibleBenchmarks)
+{
+    for (const char *name : {"stream", "stencil", "chase"}) {
+        ExperimentConfig auto_config;
+        auto_config.instructions = 400'000;
+        auto_config.engine = Engine::Auto;
+        ExperimentConfig sim_config = auto_config;
+        sim_config.engine = Engine::Sim;
+
+        auto wa = workload::make_benchmark(name);
+        const ExperimentResult a = run_experiment(*wa, auto_config);
+        auto ws = workload::make_benchmark(name);
+        const ExperimentResult s = run_experiment(*ws, sim_config);
+
+        EXPECT_TRUE(a.analytic) << name << ": auto never committed";
+        EXPECT_FALSE(s.analytic) << name;
+        EXPECT_EQ(serialize_result(a), serialize_result(s)) << name;
+        EXPECT_NE(fingerprint_config(auto_config),
+                  fingerprint_config(sim_config));
+    }
+}
+
+/** The stock suite is ineligible: auto must not change anything. */
+TEST(AnalyticEquivalence, StockSuiteIsNeverClaimed)
+{
+    for (const std::string &name : workload::suite_names()) {
+        auto w = workload::make_benchmark(name);
+        ExperimentConfig config;
+        config.instructions = 50'000;
+        EXPECT_FALSE(analytic::is_analyzable(*w, config.hierarchy,
+                                             config.keep_raw))
+            << name;
+    }
+}

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Property tests over the analytic engine's output (histograms the
+ * fast path produced by committing a period skip):
+ *
+ *  - Oracle dominance: the Fig. 5 envelope evaluated on analytic
+ *    histograms still lower-bounds every stock policy — the theorem
+ *    does not care which engine produced the population, and this
+ *    pins that down on actual fast-path output.
+ *  - Monotonicity in associativity: with the set count fixed, LRU has
+ *    the inclusion property, so growing ways can never add misses;
+ *    analytic runs must inherit that ordering exactly.
+ *  - Classifier soundness: over a corpus mixing eligible and
+ *    ineligible (random trips, RNG replacement, keep_raw) cases, the
+ *    classifier never claims a workload whose analytic result would
+ *    differ from simulation — and the corpus provably exercises both
+ *    the commit and the fallback paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "analytic/engine.hpp"
+#include "core/artifact_cache.hpp"
+#include "core/experiment.hpp"
+#include "core/inflection.hpp"
+#include "core/policies.hpp"
+#include "core/savings.hpp"
+#include "power/technology.hpp"
+#include "workload/spec_suite.hpp"
+
+using namespace leakbound;
+using namespace leakbound::core;
+
+namespace {
+
+/** Every stock policy of core/policies.hpp under @p model. */
+std::vector<PolicyPtr>
+policy_zoo(const EnergyModel &model)
+{
+    const InflectionPoints points = compute_inflection(model);
+    const std::vector<interval::PrefetchClass> both = {
+        interval::PrefetchClass::NextLine,
+        interval::PrefetchClass::Stride};
+    std::vector<PolicyPtr> zoo;
+    zoo.push_back(make_always_active(model));
+    zoo.push_back(make_opt_drowsy(model));
+    zoo.push_back(make_opt_sleep(model, points.drowsy_sleep));
+    zoo.push_back(make_opt_sleep(model, 10'000));
+    zoo.push_back(make_decay_sleep(model, 10'000));
+    zoo.push_back(make_decay_sleep(model, 2'000));
+    zoo.push_back(make_hybrid(model, points.drowsy_sleep));
+    zoo.push_back(make_hybrid(model, 4'000));
+    zoo.push_back(make_opt_hybrid(model));
+    zoo.push_back(make_periodic_drowsy(model, 2'000));
+    zoo.push_back(make_periodic_drowsy(model, 32'000));
+    zoo.push_back(make_prefetch(model, PrefetchVariant::A, both));
+    zoo.push_back(make_prefetch(model, PrefetchVariant::B, both));
+    zoo.push_back(make_prefetch_blend(model, 3'000, both));
+    return zoo;
+}
+
+/** One committed analytic run of @p name (asserts the commit). */
+ExperimentResult
+analytic_run(const std::string &name, std::uint64_t instructions)
+{
+    ExperimentConfig config;
+    config.instructions = instructions;
+    config.extra_edges = standard_extra_edges();
+    config.engine = Engine::Analytic;
+    auto w = workload::make_benchmark(name);
+    ExperimentResult run = run_experiment(*w, config);
+    EXPECT_TRUE(run.analytic)
+        << name << ": fast path fell back; property would be vacuous";
+    return run;
+}
+
+} // namespace
+
+TEST(AnalyticProperty, OracleDominatesOnAnalyticHistograms)
+{
+    // ~3 benchmarks x 4 nodes x 14 policies, on histograms the fast
+    // path actually extrapolated (not merely simulated).
+    for (const char *name : {"stream", "stencil", "chase"}) {
+        const ExperimentResult run = analytic_run(name, 400'000);
+        for (power::TechNode node : power::all_nodes()) {
+            const EnergyModel model(power::node_params(node));
+            const auto envelope = make_opt_hybrid(model);
+            const Energy oracle =
+                evaluate_policy(*envelope, run.dcache.intervals).total;
+            for (const PolicyPtr &policy : policy_zoo(model)) {
+                const SavingsResult r =
+                    evaluate_policy(*policy, run.dcache.intervals);
+                const double slack =
+                    1e-9 * std::max(1.0, std::abs(r.total));
+                EXPECT_LE(oracle, r.total + slack)
+                    << policy->name() << " beats the oracle on " << name
+                    << " at " << power::node_params(node).name;
+            }
+        }
+    }
+}
+
+TEST(AnalyticProperty, MissesMonotoneInAssociativity)
+{
+    // Fixed set count, growing ways: LRU's inclusion property says the
+    // bigger cache's contents are a superset at every access, so both
+    // L1 miss counts are non-increasing.  The analytic engine commits
+    // on each geometry and must reproduce the ordering exactly.
+    for (const char *name : {"stream", "stencil", "chase"}) {
+        std::uint64_t prev_imisses = ~0ull;
+        std::uint64_t prev_dmisses = ~0ull;
+        for (std::uint32_t ways : {1u, 2u, 4u, 8u}) {
+            ExperimentConfig config;
+            config.instructions = 200'000;
+            config.engine = Engine::Analytic;
+            // 64 sets x 64B lines, per-way size scaling with ways.
+            for (sim::CacheConfig *level :
+                 {&config.hierarchy.l1i, &config.hierarchy.l1d}) {
+                level->line_bytes = 64;
+                level->associativity = ways;
+                level->size_bytes = 64ull * 64 * ways;
+            }
+            auto w = workload::make_benchmark(name);
+            const ExperimentResult run = run_experiment(*w, config);
+            EXPECT_TRUE(run.analytic) << name << " ways=" << ways;
+            EXPECT_LE(run.icache.stats.misses, prev_imisses)
+                << name << " ways=" << ways;
+            EXPECT_LE(run.dcache.stats.misses, prev_dmisses)
+                << name << " ways=" << ways;
+            prev_imisses = run.icache.stats.misses;
+            prev_dmisses = run.dcache.stats.misses;
+        }
+    }
+}
+
+TEST(AnalyticProperty, ClassifierNeverClaimsAWorkloadItGetsWrong)
+{
+    // Mixed corpus: eligible benchmarks, random-trip benchmarks, an
+    // RNG-replacement geometry and a keep_raw run.  For every entry,
+    // Engine::Auto must produce bytes identical to Engine::Sim — i.e.
+    // either the classifier declined, or the fast path was exact.
+    struct Entry
+    {
+        std::string name;
+        bool keep_raw;
+        sim::ReplacementKind l1d_repl;
+    };
+    const std::vector<Entry> corpus = {
+        {"stream", false, sim::ReplacementKind::Lru},
+        {"stencil", false, sim::ReplacementKind::Lru},
+        {"chase", false, sim::ReplacementKind::Lru},
+        {"gzip", false, sim::ReplacementKind::Lru},
+        {"ammp", false, sim::ReplacementKind::Lru},
+        {"stream", false, sim::ReplacementKind::Random},
+        {"stream", true, sim::ReplacementKind::Lru},
+    };
+
+    std::uint64_t commits = 0;
+    std::uint64_t fallbacks = 0;
+    for (const Entry &entry : corpus) {
+        ExperimentConfig config;
+        config.instructions = 60'000;
+        config.keep_raw = entry.keep_raw;
+        config.hierarchy.l1d.replacement = entry.l1d_repl;
+
+        ExperimentConfig auto_config = config;
+        auto_config.engine = Engine::Auto;
+        auto wa = workload::make_benchmark(entry.name);
+        const ExperimentResult a = run_experiment(*wa, auto_config);
+
+        ExperimentConfig sim_config = config;
+        sim_config.engine = Engine::Sim;
+        auto ws = workload::make_benchmark(entry.name);
+        const ExperimentResult s = run_experiment(*ws, sim_config);
+
+        EXPECT_EQ(serialize_result(a), serialize_result(s))
+            << entry.name << " keep_raw=" << entry.keep_raw;
+        EXPECT_FALSE(s.analytic);
+        (a.analytic ? commits : fallbacks) += 1;
+
+        // Ineligible configurations must be declined up front.
+        auto wc = workload::make_benchmark(entry.name);
+        if (entry.keep_raw ||
+            entry.l1d_repl == sim::ReplacementKind::Random) {
+            EXPECT_FALSE(analytic::is_analyzable(
+                *wc, config.hierarchy, config.keep_raw))
+                << entry.name;
+        }
+    }
+    // The corpus must exercise both routes, or the equality above
+    // proves nothing about the classifier.
+    EXPECT_GT(commits, 0u);
+    EXPECT_GT(fallbacks, 0u);
+}

@@ -154,6 +154,8 @@ TEST(DecodeRequest, RejectsBadInputWithInvalidArgument)
         R"({"type":"run","benchmarks":["gzip"],"keep_raw":true})",
         R"({"type":"run","benchmarks":["gzip"],"typo_key":1})",
         R"({"type":"run","benchmarks":["gzip"],"extra_edges":[-1]})",
+        R"({"type":"run","benchmarks":["gzip"],"engine":"warp"})",
+        R"({"type":"run","benchmarks":["gzip"],"engine":1})",
     };
     for (const char *text : cases) {
         auto parsed = util::json_parse(text);
@@ -196,6 +198,13 @@ TEST(DecodeRequest, FingerprintSeparatesWhatMustNotShareResponses)
     stamped.config.ignore_interrupts = true;
     EXPECT_EQ(core::fingerprint_request(plain),
               core::fingerprint_request(stamped));
+    // Engines key cache entries apart: analytic and simulated results
+    // are byte-identical by construction, but letting them alias would
+    // make a fast-path bug silently poison the sim engine's cache.
+    core::ExperimentRequest pinned = small_request(false);
+    pinned.config.engine = core::Engine::Sim;
+    EXPECT_NE(core::fingerprint_request(plain),
+              core::fingerprint_request(pinned));
 }
 
 // -------------------------------------------------------------- scheduler
@@ -437,6 +446,46 @@ TEST_F(ServeFixture, RoundTripIsByteIdenticalToTheOfflineSuite)
         EXPECT_TRUE(
             core::deserialize_result(payload.value()).has_value());
     }
+}
+
+TEST_F(ServeFixture, ColdEngineRequestsDigestIdentically)
+{
+    start();
+
+    // Two *cold* requests for the same analyzable benchmark, pinned to
+    // opposite engines.  Their fingerprints differ (neither dedups nor
+    // warm-loads off the other), both simulate fresh, and their result
+    // digests must still match — the fast path is exact, not an
+    // approximation the cache happens to hide.
+    auto run_pinned = [this](const std::string &engine) {
+        RunRequest request;
+        request.benchmarks = {"stream"};
+        request.instructions = 100'000;
+        request.engine = engine;
+        auto response =
+            call_endpoint(endpoint, build_run_request(request));
+        EXPECT_TRUE(response.has_value())
+            << response.status().to_string();
+        return response.take();
+    };
+    const util::JsonValue analytic = run_pinned("analytic");
+    const util::JsonValue sim = run_pinned("sim");
+
+    const util::JsonValue &arun = analytic.find("benchmarks")->array()[0];
+    const util::JsonValue &srun = sim.find("benchmarks")->array()[0];
+    EXPECT_FALSE(arun.find("from_cache")->bool_value());
+    EXPECT_FALSE(srun.find("from_cache")->bool_value());
+    EXPECT_EQ(arun.find("engine")->string_value(), "analytic");
+    EXPECT_EQ(srun.find("engine")->string_value(), "sim");
+    EXPECT_EQ(arun.find("result_fnv")->string_value(),
+              srun.find("result_fnv")->string_value())
+        << "cold analytic digest differs from cold sim digest";
+
+    auto stats = call_endpoint(endpoint, build_stats_request());
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_EQ(stats.value().find("analytic_runs")->u64_value(), 1u);
+    EXPECT_EQ(stats.value().find("sim_runs")->u64_value(), 1u);
+    EXPECT_EQ(stats.value().find("cache_hits")->u64_value(), 0u);
 }
 
 TEST_F(ServeFixture, SurvivesGarbageFramesAndVanishingPeers)

@@ -121,6 +121,12 @@ main(int argc, char **argv)
     config.scheduler.suite_jobs = core::suite_jobs(cli);
     config.scheduler.cache_dir =
         core::resolve_cache_dir(cli.get("cache-dir"));
+    // This bench measures the *artifact cache* warm path: the warm
+    // probe repeats the cold request and must load from disk
+    // (from_cache=true).  With the rendered-response LRU on it would
+    // be answered from memory with the cold render's exact bytes —
+    // byte-identical, but proving nothing about the commit.
+    config.scheduler.response_cache_bytes = 0;
 
     serve::Server server(config);
     if (util::Status started = server.start(); !started.ok())

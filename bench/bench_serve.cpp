@@ -49,14 +49,17 @@ seconds_since(std::chrono::steady_clock::time_point begun)
 
 std::string
 render_report(const util::Cli &cli, const serve::ServerConfig &config,
-              double cold_seconds, const serve::LoadReport &load,
+              double cold_seconds, bool lru_probe_identical,
+              const serve::LoadReport &load,
               const serve::StatsSnapshot &stats)
 {
     util::JsonWriter w;
     w.begin_object();
     w.key("bench").value("bench_serve");
     w.key("description")
-        .value("leakboundd warm-cache throughput and latency");
+        .value("leakboundd warm throughput and latency under "
+               "held-open connections (epoll event loop + response "
+               "LRU)");
     w.key("flags").begin_object();
     for (const auto &[name, value] : cli.snapshot())
         w.key(name).value(value);
@@ -67,11 +70,15 @@ render_report(const util::Cli &cli, const serve::ServerConfig &config,
         .value(static_cast<std::uint64_t>(config.scheduler.suite_jobs));
     w.key("cache_dir").value(config.scheduler.cache_dir);
     w.key("cold_seconds").value(cold_seconds);
+    // The response-LRU contract, measured: a warm hit's bytes against
+    // the cold render's bytes.
+    w.key("lru_hit_byte_identical").value(lru_probe_identical);
     w.key("load").begin_object();
     w.key("sent").value(load.sent);
     w.key("ok").value(load.ok);
     w.key("overloaded").value(load.overloaded);
     w.key("errors").value(load.other_errors + load.shutting_down);
+    w.key("idle_connections_held").value(load.idle_connections_held);
     w.key("wall_seconds").value(load.wall_seconds);
     w.key("throughput_rps")
         .value(load.wall_seconds > 0.0
@@ -86,10 +93,26 @@ render_report(const util::Cli &cli, const serve::ServerConfig &config,
     w.key("stats").begin_object();
     w.key("requests_served").value(stats.requests_served);
     w.key("dedup_hits").value(stats.dedup_hits);
+    w.key("response_lru_hits").value(stats.response_lru_hits);
+    w.key("response_lru_evictions").value(stats.response_lru_evictions);
     w.key("cache_hits").value(stats.cache_hits);
     w.key("rejected_overloaded").value(stats.rejected_overloaded);
+    w.key("rejected_deadline").value(stats.rejected_deadline);
     w.key("protocol_errors").value(stats.protocol_errors);
     w.key("sessions_accepted").value(stats.sessions_accepted);
+    w.key("open_connections").value(stats.open_connections);
+    w.end_object();
+    // The session-per-thread baseline this bench replaced (PR 5:
+    // blocking I/O, no response LRU, 32 requests over 8 fresh
+    // connections) — kept verbatim so before/after rides in one file.
+    w.key("baseline_pr5").begin_object();
+    w.key("io_model").value("thread-per-session, blocking sockets");
+    w.key("throughput_rps").value(1098.84);
+    w.key("latency_p50_ms").value(7.477);
+    w.key("latency_p99_ms").value(14.320);
+    w.key("requests").value(static_cast<std::uint64_t>(32));
+    w.key("concurrency").value(static_cast<std::uint64_t>(8));
+    w.key("idle_connections_held").value(static_cast<std::uint64_t>(0));
     w.end_object();
     w.end_object();
     return w.str();
@@ -118,6 +141,13 @@ main(int argc, char **argv)
                  "8");
     cli.add_flag("workers", "scheduler suite workers in the daemon",
                  "2");
+    cli.add_flag("connections",
+                 "idle connections held open through the warm phase",
+                 "1000");
+    cli.add_flag("pipeline",
+                 "requests each warm client keeps in flight on its "
+                 "connection",
+                 "8");
     cli.parse(argc, argv);
 
     serve::ServerConfig config;
@@ -147,10 +177,13 @@ main(int argc, char **argv)
             util::fatal("unknown benchmark \"", name, "\"");
     request.instructions = cli.get_u64("instructions");
 
-    // Cold pass: one request simulates (and seeds the cache).
+    // Cold pass: one request simulates (and seeds both the artifact
+    // cache and the response LRU).
     const auto cold_begun = std::chrono::steady_clock::now();
+    std::string cold_raw;
     auto cold = serve::call_endpoint(
-        endpoint, serve::build_run_request(request));
+        endpoint, serve::build_run_request(request),
+        serve::kDefaultMaxFrameBytes, &cold_raw);
     const double cold_seconds = seconds_since(cold_begun);
     if (!cold) {
         server.request_drain();
@@ -159,32 +192,53 @@ main(int argc, char **argv)
                     cold.status().to_string());
     }
 
-    // Warm phase: every response should come from the in-flight dedup
-    // group or the artifact cache.
-    const std::uint64_t requests = cli.get_u64("requests");
-    const unsigned concurrency =
+    // LRU probe: the very next identical request must be answered
+    // from the response LRU with the cold render's exact bytes.
+    std::string probe_raw;
+    auto probe = serve::call_endpoint(
+        endpoint, serve::build_run_request(request),
+        serve::kDefaultMaxFrameBytes, &probe_raw);
+    const bool lru_probe_identical = probe && probe_raw == cold_raw;
+
+    // Warm phase: every response should come from the response LRU (or
+    // at worst the in-flight dedup group), while --connections idle
+    // sockets sit on the daemon costing nothing.
+    serve::LoadOptions options;
+    options.total = cli.get_u64("requests");
+    options.concurrency =
         static_cast<unsigned>(cli.get_u64("concurrency"));
+    options.idle_connections =
+        static_cast<unsigned>(cli.get_u64("connections"));
+    options.persistent = true;
+    options.pipeline = static_cast<unsigned>(cli.get_u64("pipeline"));
     const serve::LoadReport load =
-        serve::run_load(endpoint, request, requests, concurrency);
+        serve::run_load(endpoint, request, options);
 
     const serve::StatsSnapshot stats = server.stats();
     server.request_drain();
     serving.join();
 
     std::printf(
-        "cold: %.3fs   warm: %llu/%llu ok in %.3fs (%.0f req/s)\n"
-        "latency: p50 %.2f ms, p99 %.2f ms   dedup %llu, cache %llu\n",
+        "cold: %.3fs   warm: %llu/%llu ok in %.3fs (%.0f req/s) with "
+        "%llu idle conns\n"
+        "latency: p50 %.2f ms, p99 %.2f ms   dedup %llu, lru %llu "
+        "(byte-identical: %s), cache %llu\n",
         cold_seconds, static_cast<unsigned long long>(load.ok),
         static_cast<unsigned long long>(load.sent), load.wall_seconds,
         load.wall_seconds > 0.0
             ? static_cast<double>(load.ok) / load.wall_seconds
             : 0.0,
+        static_cast<unsigned long long>(load.idle_connections_held),
         load.latency_ms.p50(), load.latency_ms.p99(),
         static_cast<unsigned long long>(stats.dedup_hits),
+        static_cast<unsigned long long>(stats.response_lru_hits),
+        lru_probe_identical ? "yes" : "NO",
         static_cast<unsigned long long>(stats.cache_hits));
 
     const std::string contents =
-        render_report(cli, config, cold_seconds, load, stats) + "\n";
+        render_report(cli, config, cold_seconds, lru_probe_identical,
+                      load, stats) +
+        "\n";
     const std::string path = cli.get("json");
     if (!path.empty()) {
         if (util::Status wrote = util::write_file_atomic(path, contents);
@@ -193,6 +247,8 @@ main(int argc, char **argv)
     }
 
     const bool clean = load.ok == load.sent &&
-                       load.distinct_responses <= 1;
+                       load.distinct_responses <= 1 &&
+                       lru_probe_identical &&
+                       stats.response_lru_hits >= 1;
     return clean ? 0 : 3;
 }

@@ -115,8 +115,16 @@ class CollectingListener final : public cpu::AccessListener
 
 } // namespace
 
+namespace {
+
+/**
+ * The actual enumeration behind standard_extra_edges().  Walks every
+ * stock policy at every tech node, which costs ~0.3 ms — fine for a
+ * bench binary's startup, fatal on a daemon's per-request decode
+ * path, hence the memoized wrapper below.
+ */
 std::vector<Cycles>
-standard_extra_edges()
+compute_standard_extra_edges()
 {
     std::vector<Cycles> edges;
     auto absorb = [&edges](const PolicyPtr &policy) {
@@ -166,6 +174,18 @@ standard_extra_edges()
     // construction, config fingerprinting) see a stable minimal list.
     std::sort(edges.begin(), edges.end());
     edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    return edges;
+}
+
+} // namespace
+
+std::vector<Cycles>
+standard_extra_edges()
+{
+    // The edge set is a pure function of the compiled-in policy zoo;
+    // enumerate once (thread-safe static init) and hand out copies.
+    static const std::vector<Cycles> edges =
+        compute_standard_extra_edges();
     return edges;
 }
 

@@ -51,6 +51,15 @@ struct ExperimentRequest
      * ExperimentResults offline.
      */
     bool want_payload = false;
+    /**
+     * Client completion deadline in milliseconds (0 = none).  Pure
+     * admission metadata: when the scheduler estimates the request
+     * cannot complete inside the deadline it is shed `overloaded`
+     * instead of queued.  Excluded from fingerprint_request — a
+     * deadline never changes what is computed or rendered, so it must
+     * not split a dedup group or a cache entry.
+     */
+    std::uint64_t deadline_ms = 0;
 };
 
 /**
@@ -62,7 +71,9 @@ struct ExperimentRequest
  * standard_extra_edges() so any stock policy can evaluate the result),
  * "extra_edges" (u64 array), "payload" (bool), "engine" ("auto" |
  * "analytic" | "sim"; results are byte-identical for every choice but
- * the engine is part of the dedup/cache key).  Anything else —
+ * the engine is part of the dedup/cache key), "deadline_ms" (u64, 0 =
+ * none; admission metadata, never part of the dedup key).  Anything
+ * else —
  * unknown keys, wrong types, out-of-range values, server-owned knobs
  * like "jobs"/"cache_dir"/"keep_raw" — is an InvalidArgument.
  */

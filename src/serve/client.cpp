@@ -6,6 +6,7 @@
 #include "serve/client.hpp"
 
 #include <chrono>
+#include <map>
 #include <mutex>
 #include <set>
 #include <thread>
@@ -50,6 +51,8 @@ build_run_request(const RunRequest &request)
         w.key("payload").value(true);
     if (request.engine != "auto")
         w.key("engine").value(request.engine);
+    if (request.deadline_ms != 0)
+        w.key("deadline_ms").value(request.deadline_ms);
     w.end_object();
     return w.str();
 }
@@ -130,8 +133,7 @@ call_endpoint(const Endpoint &endpoint, const std::string &request_json,
 
 LoadReport
 run_load(const Endpoint &endpoint, const RunRequest &request,
-         std::uint64_t total, unsigned concurrency,
-         std::size_t max_frame)
+         const LoadOptions &options)
 {
     const std::string request_json = build_run_request(request);
     LoadReport report;
@@ -140,19 +142,190 @@ run_load(const Endpoint &endpoint, const RunRequest &request,
     std::set<std::uint64_t> response_digests;
     std::uint64_t next = 0;
 
+    /** What one distinct response body means, parsed exactly once. */
+    struct BodyClass
+    {
+        bool ok = false;
+        util::ErrorKind kind = util::ErrorKind::Internal;
+    };
+    std::map<std::uint64_t, BodyClass> body_classes;
+    // Classify a raw response frame, memoized by digest: the warm load
+    // is overwhelmingly byte-identical bodies, so the JSON parse cost
+    // is paid once per distinct body, not once per response.  Call
+    // with `mutex` held.
+    auto classify = [&](std::uint64_t digest,
+                        const std::string &raw) -> const BodyClass & {
+        auto it = body_classes.find(digest);
+        if (it != body_classes.end())
+            return it->second;
+        BodyClass parsed;
+        if (auto body = util::json_parse(raw);
+            body && body.value().is_object()) {
+            const util::JsonValue *status = body.value().find("status");
+            parsed.ok = status != nullptr && status->is_string() &&
+                        status->string_value() == "ok";
+            if (parsed.ok) {
+                if (const util::JsonValue *fp =
+                        body.value().find("request_fingerprint");
+                    fp != nullptr && fp->is_string())
+                    fingerprints.insert(fp->string_value());
+            } else if (const util::JsonValue *kind =
+                           body.value().find("kind");
+                       kind != nullptr && kind->is_string()) {
+                if (auto known = util::error_kind_from_name(
+                        kind->string_value());
+                    known && *known != util::ErrorKind::None)
+                    parsed.kind = *known;
+            }
+        }
+        return body_classes.emplace(digest, parsed).first->second;
+    };
+
+    // Held-open idle sockets: opened before the first request, closed
+    // after the last response.  Their only job is to exist — the
+    // daemon must serve the load loop at full speed while carrying
+    // them.
+    std::vector<util::net::Socket> idle;
+    idle.reserve(options.idle_connections);
+    for (unsigned i = 0; i < options.idle_connections; ++i) {
+        auto socket = connect_endpoint(endpoint);
+        if (!socket)
+            break; // fd limit or listener backlog: hold what we got
+        idle.push_back(socket.take());
+    }
+    report.idle_connections_held = idle.size();
+
     const auto begun = std::chrono::steady_clock::now();
-    auto worker = [&] {
+
+    // Batched pipelining: claim up to `pipeline` requests, push them
+    // down one connection as a single write, then read the responses
+    // back in order.  Exercises the daemon's per-connection reply
+    // queue and amortizes syscalls on both sides of the wire.
+    auto pipelined_worker = [&] {
+        // One frame, prebuilt: 4-byte LE length prefix + payload.
+        std::string framed;
+        const std::uint32_t size =
+            static_cast<std::uint32_t>(request_json.size());
+        framed.push_back(static_cast<char>(size & 0xff));
+        framed.push_back(static_cast<char>((size >> 8) & 0xff));
+        framed.push_back(static_cast<char>((size >> 16) & 0xff));
+        framed.push_back(static_cast<char>((size >> 24) & 0xff));
+        framed.append(request_json);
+
+        util::net::Socket connection;
         for (;;) {
+            std::uint64_t batch;
             {
                 std::lock_guard<std::mutex> lock(mutex);
-                if (next >= total)
+                if (next >= options.total)
                     return;
-                ++next;
+                batch = std::min<std::uint64_t>(options.pipeline,
+                                                options.total - next);
+                next += batch;
+            }
+            if (!connection.valid()) {
+                auto fresh = connect_endpoint(endpoint);
+                if (!fresh) {
+                    std::lock_guard<std::mutex> lock(mutex);
+                    report.sent += batch;
+                    report.other_errors += batch;
+                    continue;
+                }
+                connection = fresh.take();
+            }
+            std::string wire;
+            wire.reserve(framed.size() * batch);
+            for (std::uint64_t i = 0; i < batch; ++i)
+                wire.append(framed);
+            const auto sent_at = std::chrono::steady_clock::now();
+            if (util::Status pushed = util::net::send_all(
+                    connection, wire.data(), wire.size());
+                !pushed.ok()) {
+                connection.close();
+                std::lock_guard<std::mutex> lock(mutex);
+                report.sent += batch;
+                report.other_errors += batch;
+                continue;
+            }
+            for (std::uint64_t i = 0; i < batch; ++i) {
+                auto frame = recv_frame(connection, options.max_frame);
+                const double ms =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - sent_at)
+                        .count();
+                std::lock_guard<std::mutex> lock(mutex);
+                ++report.sent;
+                report.latency_ms.add(ms);
+                if (!frame) {
+                    // The rest of the batch is gone with the stream.
+                    report.other_errors += batch - i;
+                    report.sent += batch - i - 1;
+                    connection.close();
+                    break;
+                }
+                const std::uint64_t digest = util::fnv1a(
+                    frame.value().data(), frame.value().size());
+                const BodyClass &body =
+                    classify(digest, frame.value());
+                if (body.ok) {
+                    ++report.ok;
+                    response_digests.insert(digest);
+                } else if (body.kind == util::ErrorKind::Overloaded) {
+                    ++report.overloaded;
+                } else if (body.kind ==
+                           util::ErrorKind::ShuttingDown) {
+                    ++report.shutting_down;
+                } else {
+                    ++report.other_errors;
+                }
+            }
+        }
+    };
+
+    auto worker = [&] {
+        util::net::Socket persistent;
+        for (;;) {
+            std::uint64_t k;
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                if (next >= options.total)
+                    return;
+                k = next++;
+            }
+            if (options.open_loop_rps > 0.0) {
+                // Open loop: request k is due at begun + k/rate, no
+                // matter how the server is doing.
+                const auto due =
+                    begun + std::chrono::duration_cast<
+                                std::chrono::steady_clock::duration>(
+                                std::chrono::duration<double>(
+                                    static_cast<double>(k) /
+                                    options.open_loop_rps));
+                std::this_thread::sleep_until(due);
             }
             const auto sent_at = std::chrono::steady_clock::now();
             std::string raw;
-            auto response = call_endpoint(endpoint, request_json,
-                                          max_frame, &raw);
+            util::Expected<util::JsonValue> response =
+                util::Status(util::ErrorKind::IoError, "not sent");
+            if (options.persistent) {
+                if (!persistent.valid()) {
+                    if (auto fresh = connect_endpoint(endpoint))
+                        persistent = fresh.take();
+                }
+                if (persistent.valid()) {
+                    response = call(persistent, request_json,
+                                    options.max_frame, &raw);
+                    if (!response)
+                        persistent.close(); // reconnect next round
+                } else {
+                    response = util::Status(
+                        util::ErrorKind::IoError,
+                        "cannot connect to the daemon");
+                }
+            } else {
+                response = call_endpoint(endpoint, request_json,
+                                         options.max_frame, &raw);
+            }
             const double ms =
                 std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - sent_at)
@@ -186,10 +359,18 @@ run_load(const Endpoint &endpoint, const RunRequest &request,
     };
 
     std::vector<std::thread> threads;
-    const unsigned workers = concurrency == 0 ? 1 : concurrency;
+    const unsigned workers =
+        options.concurrency == 0 ? 1 : options.concurrency;
+    const bool pipelined = options.persistent &&
+                           options.pipeline > 1 &&
+                           options.open_loop_rps <= 0.0;
     threads.reserve(workers);
-    for (unsigned i = 0; i < workers; ++i)
-        threads.emplace_back(worker);
+    for (unsigned i = 0; i < workers; ++i) {
+        if (pipelined)
+            threads.emplace_back(pipelined_worker);
+        else
+            threads.emplace_back(worker);
+    }
     for (std::thread &thread : threads)
         thread.join();
 
@@ -200,6 +381,18 @@ run_load(const Endpoint &endpoint, const RunRequest &request,
     report.distinct_fingerprints = fingerprints.size();
     report.distinct_responses = response_digests.size();
     return report;
+}
+
+LoadReport
+run_load(const Endpoint &endpoint, const RunRequest &request,
+         std::uint64_t total, unsigned concurrency,
+         std::size_t max_frame)
+{
+    LoadOptions options;
+    options.total = total;
+    options.concurrency = concurrency;
+    options.max_frame = max_frame;
+    return run_load(endpoint, request, options);
 }
 
 } // namespace leakbound::serve

@@ -49,6 +49,13 @@ struct RunRequest
     /** Execution engine ("auto" | "analytic" | "sim"); "auto" is the
      *  server default and is omitted from the wire request. */
     std::string engine = "auto";
+    /**
+     * Completion deadline hint in milliseconds (0 = none).  The server
+     * sheds the request with Overloaded when its backlog model says
+     * the deadline cannot be met.  Admission metadata only — never
+     * part of the dedup fingerprint.
+     */
+    std::uint64_t deadline_ms = 0;
 };
 
 /** Render @p request as the wire JSON. */
@@ -90,18 +97,62 @@ struct LoadReport
     /** Distinct full response bodies seen across ok responses (dedup
      *  byte-identity check: identical requests must make this 1). */
     std::uint64_t distinct_responses = 0;
+    /** Idle connections actually held open during the run. */
+    std::uint64_t idle_connections_held = 0;
     util::LatencyRecorder latency_ms;
     double wall_seconds = 0.0;
 };
 
+/** How a load-generation run behaves (run_load). */
+struct LoadOptions
+{
+    /** Total run requests to fire. */
+    std::uint64_t total = 1;
+    /** Client worker threads (in-flight ceiling in closed-loop mode). */
+    unsigned concurrency = 1;
+    /**
+     * Extra connections opened before the load loop starts and held
+     * open — sending nothing — until every request is answered.  This
+     * is the 10k-connection story: idle sockets must cost the daemon
+     * no threads and no latency.
+     */
+    unsigned idle_connections = 0;
+    /**
+     * Open-loop arrival rate in requests/second (0 = closed loop).
+     * Request k is released at start + k/rate regardless of how long
+     * earlier requests take, so a slow server faces a growing backlog
+     * instead of implicit client-side backoff — the arrival pattern
+     * deadline shedding exists for.
+     */
+    double open_loop_rps = 0.0;
+    /**
+     * Reuse one connection per worker thread for its whole loop
+     * (pipelined request/response pairs) instead of a fresh connection
+     * per request.
+     */
+    bool persistent = false;
+    /**
+     * Requests a persistent worker keeps in flight on its connection
+     * before reading responses (1 = strict request/response lockstep).
+     * Depth > 1 exercises the daemon's ordered per-connection reply
+     * queue and amortizes syscalls on both sides.
+     */
+    unsigned pipeline = 1;
+    std::size_t max_frame = kDefaultMaxFrameBytes;
+};
+
 /**
- * Fire @p total identical copies of @p request at @p endpoint from
- * @p concurrency client threads (one connection per in-flight
- * request) and fold what came back into a LoadReport.  Identical
- * requests are exactly what exercises the daemon's dedup path; the
- * report's distinct_responses says whether the dedup group really was
+ * Fire options.total identical copies of @p request at @p endpoint
+ * from options.concurrency client threads and fold what came back
+ * into a LoadReport.  Identical requests are exactly what exercises
+ * the daemon's dedup and response-LRU paths; the report's
+ * distinct_responses says whether the dedup group really was
  * byte-identical.
  */
+LoadReport run_load(const Endpoint &endpoint, const RunRequest &request,
+                    const LoadOptions &options);
+
+/** Back-compat shorthand: closed loop, fresh connection per request. */
 LoadReport run_load(const Endpoint &endpoint, const RunRequest &request,
                     std::uint64_t total, unsigned concurrency,
                     std::size_t max_frame = kDefaultMaxFrameBytes);

@@ -89,6 +89,28 @@ main(int argc, char **argv)
     cli.add_flag("load",
                  "fire N identical run requests instead of one", "0");
     cli.add_flag("concurrency", "client threads for --load", "4");
+    cli.add_flag("connections",
+                 "open N extra connections before the load loop", "0");
+    cli.add_flag("idle",
+                 "hold the --connections sockets open but idle for the "
+                 "whole run (the 10k-connection scenario)",
+                 "0");
+    cli.add_flag("rate",
+                 "open-loop arrival rate in req/s for --load "
+                 "(0 = closed loop)",
+                 "0");
+    cli.add_flag("persistent",
+                 "reuse one connection per load thread instead of one "
+                 "per request",
+                 "0");
+    cli.add_flag("pipeline",
+                 "requests each persistent load thread keeps in "
+                 "flight on its connection",
+                 "1");
+    cli.add_flag("deadline-ms",
+                 "per-request completion deadline; the daemon sheds "
+                 "requests it cannot finish in time (0 = none)",
+                 "0");
     cli.parse(argc, argv);
 
     const serve::Endpoint endpoint = endpoint_from_flags(cli);
@@ -121,6 +143,7 @@ main(int argc, char **argv)
     if (!core::parse_engine(request.engine))
         util::fatal("--engine must be auto, analytic or sim (got \"",
                     request.engine, "\")");
+    request.deadline_ms = cli.get_u64("deadline-ms");
 
     const std::uint64_t load = cli.get_u64("load");
     if (load == 0) {
@@ -136,13 +159,23 @@ main(int argc, char **argv)
         return emit_response(raw, cli);
     }
 
-    const unsigned concurrency =
+    serve::LoadOptions options;
+    options.total = load;
+    options.concurrency =
         static_cast<unsigned>(cli.get_u64("concurrency"));
+    options.open_loop_rps =
+        static_cast<double>(cli.get_u64("rate"));
+    options.persistent = cli.get_bool("persistent");
+    options.pipeline = static_cast<unsigned>(cli.get_u64("pipeline"));
+    if (cli.get_bool("idle"))
+        options.idle_connections =
+            static_cast<unsigned>(cli.get_u64("connections"));
     const serve::LoadReport report =
-        serve::run_load(endpoint, request, load, concurrency);
+        serve::run_load(endpoint, request, options);
     std::printf(
         "load: %llu sent, %llu ok, %llu overloaded, %llu "
-        "shutting_down, %llu errors in %.2fs\n"
+        "shutting_down, %llu errors in %.2fs (%llu idle "
+        "connection(s) held)\n"
         "dedup: %llu distinct fingerprint(s), %llu distinct "
         "response body(ies)\n"
         "latency: p50 %.1f ms, p99 %.1f ms, max %.1f ms\n",
@@ -152,6 +185,7 @@ main(int argc, char **argv)
         static_cast<unsigned long long>(report.shutting_down),
         static_cast<unsigned long long>(report.other_errors),
         report.wall_seconds,
+        static_cast<unsigned long long>(report.idle_connections_held),
         static_cast<unsigned long long>(report.distinct_fingerprints),
         static_cast<unsigned long long>(report.distinct_responses),
         report.latency_ms.p50(), report.latency_ms.p99(),

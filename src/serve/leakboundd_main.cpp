@@ -53,7 +53,12 @@ main(int argc, char **argv)
                  "largest per-benchmark instruction budget a request "
                  "may ask for",
                  "64000000");
-    cli.add_flag("max-sessions", "concurrent client connections", "64");
+    cli.add_flag("max-sessions", "concurrent client connections",
+                 "10000");
+    cli.add_flag("response-cache-mb",
+                 "byte budget (MiB) of the rendered-response LRU "
+                 "(0 disables it)",
+                 "64");
     cli.parse(argc, argv);
 
     serve::ServerConfig config;
@@ -67,6 +72,8 @@ main(int argc, char **argv)
     config.scheduler.workers =
         static_cast<unsigned>(cli.get_u64("workers"));
     config.scheduler.max_queue = cli.get_u64("queue-limit");
+    config.scheduler.response_cache_bytes =
+        static_cast<std::size_t>(cli.get_u64("response-cache-mb")) << 20;
     config.scheduler.suite_jobs = core::suite_jobs(cli);
     config.scheduler.cache_dir =
         core::resolve_cache_dir(cli.get("cache-dir"));
@@ -89,13 +96,15 @@ main(int argc, char **argv)
 
     const serve::StatsSnapshot stats = server.stats();
     std::printf("leakboundd: drained after %.1fs — %llu served, "
-                "%llu dedup hits, %llu cache hits, %llu rejected\n",
+                "%llu dedup hits, %llu response-LRU hits, "
+                "%llu cache hits, %llu rejected\n",
                 stats.uptime_seconds,
                 static_cast<unsigned long long>(stats.requests_served),
                 static_cast<unsigned long long>(stats.dedup_hits),
+                static_cast<unsigned long long>(stats.response_lru_hits),
                 static_cast<unsigned long long>(stats.cache_hits),
                 static_cast<unsigned long long>(
-                    stats.rejected_overloaded +
+                    stats.rejected_overloaded + stats.rejected_deadline +
                     stats.rejected_shutting_down));
     return 0;
 }

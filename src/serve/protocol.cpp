@@ -25,17 +25,17 @@ send_frame(const util::net::Socket &socket, const std::string &payload,
                                 " bytes exceeds the " +
                                 std::to_string(max_frame) + " byte cap");
     }
-    unsigned char header[kFrameHeaderBytes];
+    // One buffer, one send path: splitting header and payload into
+    // two writes invites a Nagle/delayed-ACK stall between them.
     const std::uint32_t size = static_cast<std::uint32_t>(payload.size());
-    header[0] = static_cast<unsigned char>(size & 0xff);
-    header[1] = static_cast<unsigned char>((size >> 8) & 0xff);
-    header[2] = static_cast<unsigned char>((size >> 16) & 0xff);
-    header[3] = static_cast<unsigned char>((size >> 24) & 0xff);
-    if (util::Status sent =
-            util::net::send_all(socket, header, sizeof(header));
-        !sent.ok())
-        return sent;
-    return util::net::send_all(socket, payload.data(), payload.size());
+    std::string frame;
+    frame.reserve(kFrameHeaderBytes + payload.size());
+    frame.push_back(static_cast<char>(size & 0xff));
+    frame.push_back(static_cast<char>((size >> 8) & 0xff));
+    frame.push_back(static_cast<char>((size >> 16) & 0xff));
+    frame.push_back(static_cast<char>((size >> 24) & 0xff));
+    frame.append(payload);
+    return util::net::send_all(socket, frame.data(), frame.size());
 }
 
 util::Expected<std::string>
@@ -163,13 +163,19 @@ render_stats(const StatsSnapshot &stats)
     w.key("type").value("stats");
     w.key("requests_served").value(stats.requests_served);
     w.key("dedup_hits").value(stats.dedup_hits);
+    w.key("response_lru_hits").value(stats.response_lru_hits);
+    w.key("response_lru_evictions").value(stats.response_lru_evictions);
+    w.key("response_lru_entries").value(stats.response_lru_entries);
+    w.key("response_lru_bytes").value(stats.response_lru_bytes);
     w.key("cache_hits").value(stats.cache_hits);
     w.key("analytic_runs").value(stats.analytic_runs);
     w.key("sim_runs").value(stats.sim_runs);
     w.key("rejected_overloaded").value(stats.rejected_overloaded);
+    w.key("rejected_deadline").value(stats.rejected_deadline);
     w.key("rejected_shutting_down").value(stats.rejected_shutting_down);
     w.key("protocol_errors").value(stats.protocol_errors);
     w.key("sessions_accepted").value(stats.sessions_accepted);
+    w.key("open_connections").value(stats.open_connections);
     w.key("queue_depth").value(stats.queue_depth);
     w.key("running").value(stats.running);
     w.key("latency_p50_ms").value(stats.latency_p50_ms);

@@ -83,13 +83,19 @@ struct StatsSnapshot
 {
     std::uint64_t requests_served = 0;   ///< run requests answered
     std::uint64_t dedup_hits = 0;        ///< joined an in-flight twin
+    std::uint64_t response_lru_hits = 0; ///< answered from the response LRU
+    std::uint64_t response_lru_evictions = 0; ///< LRU entries evicted
+    std::uint64_t response_lru_entries = 0;   ///< instantaneous LRU size
+    std::uint64_t response_lru_bytes = 0;     ///< instantaneous LRU bytes
     std::uint64_t cache_hits = 0;        ///< benchmarks loaded, not simulated
     std::uint64_t analytic_runs = 0;     ///< benchmarks the fast path skipped
     std::uint64_t sim_runs = 0;          ///< benchmarks simulated end to end
     std::uint64_t rejected_overloaded = 0;
+    std::uint64_t rejected_deadline = 0; ///< shed: deadline unmeetable
     std::uint64_t rejected_shutting_down = 0;
     std::uint64_t protocol_errors = 0;   ///< malformed frames/requests
     std::uint64_t sessions_accepted = 0;
+    std::uint64_t open_connections = 0;  ///< instantaneous live connections
     std::uint64_t queue_depth = 0;       ///< requests admitted, not started
     std::uint64_t running = 0;           ///< suites executing right now
     double latency_p50_ms = 0.0;         ///< over served run requests

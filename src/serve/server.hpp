@@ -1,19 +1,24 @@
 /**
  * @file
- * The leakboundd server: listeners, session threads, stats, drain.
+ * The leakboundd server: an edge-triggered epoll event loop over
+ * non-blocking sockets, connection state machines, stats, drain.
  *
  * Threading/ownership model (DESIGN.md §6): the thread that calls
- * serve() runs the accept loop; every accepted connection gets one
- * session thread that speaks strict request/response frames until the
- * peer hangs up.  Session threads never touch each other's state —
- * they share exactly two synchronized objects: the Scheduler (which
- * owns all simulation compute) and the server's stats block (one
- * mutex).  The accept loop polls with a short timeout so it observes
- * both the cooperative interrupt flag (SIGINT/SIGTERM) and
- * request_drain(); on either it stops accepting, drains the scheduler
- * (in-flight experiments finish, queued ones fail with ShuttingDown),
- * half-closes every idle session's read side so blocked recvs see EOF,
- * and joins all session threads before serve() returns.
+ * serve() runs the event loop and is the ONLY thread that ever touches
+ * a connection — sockets, buffers, reply queues all live and die on
+ * the loop.  Compute lives in the Scheduler's fixed worker pool; the
+ * loop hands a decoded run request to Scheduler::submit_async and
+ * moves on, so 10k idle-or-slow clients cost zero threads and zero
+ * per-connection wakeups.  Workers deliver rendered response bytes
+ * into a mutex-guarded completion queue and kick an eventfd; the loop
+ * drains the queue, matches completions to their connection by
+ * (connection id, reply sequence) — both survive the connection's
+ * death, so a completion for a vanished client is dropped, never a
+ * use-after-free — and resumes partial writes under EPOLLOUT.  On
+ * SIGINT/SIGTERM or request_drain() the loop stops accepting, drains
+ * the scheduler (in-flight experiments finish, queued ones fail with
+ * ShuttingDown), flushes every answered connection within a bounded
+ * grace period, and closes everything before serve() returns.
  */
 
 #ifndef LEAKBOUND_SERVE_SERVER_HPP
@@ -22,11 +27,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <list>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "serve/protocol.hpp"
@@ -50,10 +55,12 @@ struct ServerConfig
     std::uint64_t max_instructions = core::kDefaultMaxRequestInstructions;
     /** Frame payload cap for both directions. */
     std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
-    /** Concurrent sessions; accepts beyond this are turned away. */
-    unsigned max_sessions = 64;
-    /** Accept-loop poll period (drain latency upper bound). */
+    /** Concurrent connections; accepts beyond this are turned away. */
+    unsigned max_sessions = 10'000;
+    /** Event-loop wait ceiling (drain/interrupt latency upper bound). */
     int poll_interval_ms = 100;
+    /** Grace period for flushing answered connections on drain. */
+    int drain_flush_ms = 2'000;
     SchedulerConfig scheduler;
 };
 
@@ -74,34 +81,86 @@ class Server
     std::uint16_t tcp_port() const { return tcp_port_; }
 
     /**
-     * Run the accept loop on the calling thread until an interrupt or
-     * request_drain(), then drain and join everything.  Returns ok on
+     * Run the event loop on the calling thread until an interrupt or
+     * request_drain(), then drain and flush everything.  Returns ok on
      * a clean drain.
      */
     util::Status serve();
 
     /** Ask serve() to drain and return (thread-safe, idempotent). */
-    void request_drain() { drain_requested_.store(true); }
+    void request_drain()
+    {
+        drain_requested_.store(true);
+        wakeup_.signal();
+    }
 
     /** Assemble the /stats view (also what sessions reply with). */
     StatsSnapshot stats() const;
 
   private:
-    struct Session
+    /** One queued response frame, in request order. */
+    struct Reply
     {
-        util::net::Socket socket;
-        std::thread thread;
-        bool finished = false;
+        std::uint64_t seq = 0;
+        bool ready = false;
+        /** Whether this reply's latency is recorded (run requests). */
+        bool timed = false;
+        std::chrono::steady_clock::time_point begun;
+        std::shared_ptr<const std::string> frame;
     };
 
-    void run_session(Session *session);
-    /** Handle one decoded frame; returns false to end the session. */
-    bool handle_frame(const util::net::Socket &socket,
-                      const std::string &frame);
-    util::Status reply(const util::net::Socket &socket,
-                       const std::string &payload);
-    void reap_finished_sessions();
+    /**
+     * One client connection's entire state machine, owned by the
+     * event loop: accumulate bytes → peel frames → dispatch → queue
+     * replies in request order → write with partial-write resumption.
+     */
+    struct Connection
+    {
+        util::net::Socket socket;
+        std::uint64_t id = 0;
+        /** Unparsed inbound bytes ([inoff, size) is live). */
+        std::string inbuf;
+        std::size_t inoff = 0;
+        /** Replies in request order; front is next on the wire. */
+        std::deque<Reply> replies;
+        std::uint64_t next_seq = 0;
+        /** Outbound bytes mid-flight ([outoff, size) unsent). */
+        std::string outbuf;
+        std::size_t outoff = 0;
+        bool want_write = false;      ///< EPOLLOUT armed
+        bool peer_closed = false;     ///< read side saw EOF
+        bool close_after_flush = false; ///< hang up once drained
+        bool shed = false;            ///< overload-rejected; not live
+    };
+
+    /** A worker's finished response en route to the loop. */
+    struct PendingCompletion
+    {
+        std::uint64_t connection_id = 0;
+        std::uint64_t seq = 0;
+        std::shared_ptr<const std::string> response;
+    };
+
+    void accept_pending(const util::net::Socket &listener);
+    void handle_readable(Connection *connection);
+    /** Peel complete frames off inbuf and dispatch each. */
+    void parse_frames(Connection *connection);
+    void dispatch(Connection *connection, const std::string &payload);
+    /** Queue an already-rendered reply (ping/stats/errors). */
+    void enqueue_ready(Connection *connection, std::string frame,
+                       bool timed = false,
+                       std::chrono::steady_clock::time_point begun = {});
+    /** Move ready replies into outbuf and push bytes to the socket. */
+    void flush_writes(Connection *connection);
+    void update_write_interest(Connection *connection);
+    void destroy(Connection *connection);
+    void drain_completions();
+    /** Thread-safe: workers (or the loop) post a finished response. */
+    void queue_completion(std::uint64_t connection_id, std::uint64_t seq,
+                          std::shared_ptr<const std::string> response);
     void note_protocol_error();
+    /** Flush answered connections after drain, bounded by grace. */
+    void drain_flush();
 
     ServerConfig config_;
     std::unique_ptr<Scheduler> scheduler_;
@@ -112,8 +171,21 @@ class Server
     std::atomic<bool> drain_requested_{false};
     std::chrono::steady_clock::time_point started_at_;
 
-    mutable std::mutex mutex_; ///< guards sessions_ and the counters below
-    std::list<Session> sessions_;
+    // ---- event loop state: touched only by the serve() thread ----
+    util::net::Epoll epoll_;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Connection>>
+        connections_;
+    std::uint64_t next_connection_id_ = 100; ///< ids < 100 are reserved tags
+    /** Live (non-shed) connections; atomic only so stats() may read. */
+    std::atomic<std::uint64_t> live_connections_{0};
+    std::vector<util::net::EpollEvent> events_;
+
+    // ---- worker → loop handoff ----
+    util::net::WakeupFd wakeup_;
+    std::mutex completions_mutex_;
+    std::deque<PendingCompletion> completions_;
+
+    mutable std::mutex mutex_; ///< guards the stats counters below
     std::uint64_t sessions_accepted_ = 0;
     std::uint64_t sessions_rejected_ = 0;
     std::uint64_t protocol_errors_ = 0;

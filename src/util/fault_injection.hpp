@@ -19,8 +19,8 @@
  *   site[@match]=rate[,site[@match]=rate...]
  *
  * where `site` is one of open_read, open_write, short_write, enospc,
- * rename_torn, lock, simulate, net_accept, net_read, net_write;
- * `rate` is a fault probability in
+ * rename_torn, lock, simulate, net_accept, net_read, net_write,
+ * net_short_write; `rate` is a fault probability in
  * [0, 1]; and the optional `@match` restricts the rule to probes whose
  * tag (usually a path or workload name) contains the substring.  The
  * seed comes from LEAKBOUND_FAULT_SEED (default 0x1eafb01d).
@@ -53,9 +53,10 @@ enum class Site : std::uint8_t {
     NetAccept,  ///< accepting a client connection fails
     NetRead,    ///< a socket read fails as if the peer vanished
     NetWrite,   ///< a socket write fails mid-frame
+    NetShortWrite, ///< a socket write is truncated (partial write)
 };
 
-inline constexpr std::size_t kNumFaultSites = 10;
+inline constexpr std::size_t kNumFaultSites = 11;
 
 /** The spec-string name of @p site ("open_read", ...). */
 constexpr const char *
@@ -72,6 +73,7 @@ site_name(Site site)
       case Site::NetAccept: return "net_accept";
       case Site::NetRead: return "net_read";
       case Site::NetWrite: return "net_write";
+      case Site::NetShortWrite: return "net_short_write";
     }
     return "unknown";
 }

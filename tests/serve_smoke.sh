@@ -1,11 +1,12 @@
 #!/bin/sh
 # End-to-end smoke of the experiment service: start leakboundd on a
-# temp unix socket, round-trip a run request twice (cold then warm),
-# require byte-identical simulation payloads (result_fnv digests),
-# then two *cold* engine-pinned requests (--engine analytic vs sim)
-# that must also digest identically, check /stats, then SIGTERM and
-# require a clean drain (exit 0, socket removed).  Invoked by CTest
-# as: serve_smoke.sh <leakboundd> <leakbound-client>.
+# temp unix socket, round-trip a run request twice (cold then warm —
+# the warm one must be answered from the rendered-response LRU with
+# the cold render's exact bytes), then two *cold* engine-pinned
+# requests (--engine analytic vs sim) that must digest identically,
+# check /stats (including exact response_lru_hits accounting), then
+# SIGTERM and require a clean drain (exit 0, socket removed).  Invoked
+# by CTest as: serve_smoke.sh <leakboundd> <leakbound-client>.
 #
 # The daemon is launched directly (never inside a compound command) so
 # $! is the daemon's own PID and the TERM we send exercises *its*
@@ -48,8 +49,9 @@ if [ $up -ne 1 ]; then
     exit 1
 fi
 
-# Cold, then warm: the second response loads from the artifact cache
-# but its simulation payload must be byte-identical (same result_fnv).
+# Cold, then warm: the second response is answered straight from the
+# rendered-response LRU, so it must be byte-for-byte the cold
+# response — same digests, and no simulation or cache load behind it.
 "$CLIENT" --socket "$SOCK" --benchmarks gzip --instructions 50000 \
     >"$DIR/run1.json"
 "$CLIENT" --socket "$SOCK" --benchmarks gzip --instructions 50000 \
@@ -62,11 +64,11 @@ if [ -z "$fnv1" ] || [ "$fnv1" != "$fnv2" ]; then
     echo "warm: $fnv2" >&2
     exit 1
 fi
-grep -q '"from_cache": true' "$DIR/run2.json" || {
-    echo "serve_smoke: warm run did not hit the cache" >&2
-    cat "$DIR/run2.json" >&2
+if ! cmp -s "$DIR/run1.json" "$DIR/run2.json"; then
+    echo "serve_smoke: LRU-hit response is not byte-identical to the" \
+         "cold render" >&2
     exit 1
-}
+fi
 
 # Cold engine split: the same analyzable benchmark under --engine
 # analytic and --engine sim fingerprints to distinct cache entries
@@ -110,6 +112,14 @@ grep -q '"requests_served": 4' "$DIR/stats.json" || {
 }
 grep -q '"analytic_runs": 1' "$DIR/stats.json" || {
     echo "serve_smoke: stats did not count the analytic run" >&2
+    cat "$DIR/stats.json" >&2
+    exit 1
+}
+# Exactly one LRU hit (the warm gzip rerun); the engine-pinned pair
+# fingerprints apart and must not alias into it.
+grep -q '"response_lru_hits": 1' "$DIR/stats.json" || {
+    echo "serve_smoke: stats did not show exactly one response-LRU" \
+         "hit" >&2
     cat "$DIR/stats.json" >&2
     exit 1
 }

@@ -347,3 +347,27 @@ TEST_F(NetFaults, AcceptFaultSurfacesAsTypedStatus)
     ASSERT_FALSE(accepted.has_value());
     EXPECT_EQ(accepted.status().kind(), util::ErrorKind::FaultInjected);
 }
+
+TEST_F(NetFaults, ShortWritesNeverTruncateAFrame)
+{
+    // net_short_write=1.0 halves *every* write attempt: a 64 KiB
+    // frame only gets through if send_all resumes from its offset
+    // across ~17 successive truncations.  The frame must arrive
+    // byte-identical — a short write is a retry condition, never data
+    // loss.
+    auto [client, server] = connected_pair();
+    std::string big(64 * 1024, '\0');
+    for (std::size_t i = 0; i < big.size(); ++i)
+        big[i] = static_cast<char>('a' + i % 26);
+
+    ASSERT_TRUE(fault::configure("net_short_write=1.0", 7));
+    util::Status sent = send_frame(client, big);
+    ASSERT_TRUE(sent.ok()) << sent.to_string();
+    fault::reset();
+
+    auto got = recv_frame(server, /*max_frame=*/1 << 20);
+    ASSERT_TRUE(got.has_value()) << got.status().to_string();
+    EXPECT_EQ(got.value().size(), big.size());
+    EXPECT_TRUE(got.value() == big)
+        << "frame corrupted by short-write resumption";
+}

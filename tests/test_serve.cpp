@@ -367,6 +367,181 @@ TEST(Scheduler, DrainFailsQueuedJobsAndFinishesInFlightOnes)
     EXPECT_EQ(counters.rejected_shutting_down, 3u);
 }
 
+// --------------------------------------------------------- response LRU
+
+TEST(ResponseLru, HitReturnsTheExactRenderedObject)
+{
+    SchedulerConfig config;
+    config.workers = 1;
+    Scheduler scheduler(config);
+
+    auto first = scheduler.submit(small_request());
+    ASSERT_TRUE(first.has_value()) << first.status().to_string();
+    auto second = scheduler.submit(small_request());
+    ASSERT_TRUE(second.has_value()) << second.status().to_string();
+    // Not merely equal bytes: the very same rendered object the cold
+    // run produced.
+    EXPECT_EQ(first.value(), second.value());
+    EXPECT_EQ(*first.value(), *second.value());
+
+    const SchedulerCounters counters = scheduler.counters();
+    EXPECT_EQ(counters.simulations, 1u)
+        << "the warm twin should never have reached a worker";
+    EXPECT_EQ(counters.response_lru_hits, 1u);
+    EXPECT_EQ(counters.served, 2u);
+    EXPECT_EQ(counters.response_lru_entries, 1u);
+    EXPECT_GT(counters.response_lru_bytes, 0u);
+}
+
+TEST(ResponseLru, EvictsAtTheByteBudgetInRecencyOrder)
+{
+    // Probe pass: learn what one payload-bearing response costs.
+    std::uint64_t probe_bytes = 0;
+    {
+        SchedulerConfig config;
+        config.workers = 1;
+        Scheduler probe(config);
+        ASSERT_TRUE(probe.submit(small_request(true)).has_value());
+        probe_bytes = probe.counters().response_lru_bytes;
+        ASSERT_GT(probe_bytes, 0u);
+    }
+
+    // Budget sized for exactly the payload-bearing response: the
+    // (smaller) plain response then fits only by evicting it.
+    SchedulerConfig config;
+    config.workers = 1;
+    config.response_cache_bytes =
+        static_cast<std::size_t>(probe_bytes);
+    Scheduler scheduler(config);
+
+    ASSERT_TRUE(scheduler.submit(small_request(true)).has_value());
+    EXPECT_EQ(scheduler.counters().response_lru_entries, 1u);
+    ASSERT_TRUE(scheduler.submit(small_request(false)).has_value());
+    {
+        const SchedulerCounters counters = scheduler.counters();
+        EXPECT_EQ(counters.response_lru_evictions, 1u)
+            << "inserting past the byte budget must evict the tail";
+        EXPECT_EQ(counters.response_lru_entries, 1u);
+        EXPECT_LE(counters.response_lru_bytes,
+                  config.response_cache_bytes);
+    }
+
+    // The survivor hits; the evicted shape re-simulates.
+    ASSERT_TRUE(scheduler.submit(small_request(false)).has_value());
+    EXPECT_EQ(scheduler.counters().response_lru_hits, 1u);
+    ASSERT_TRUE(scheduler.submit(small_request(true)).has_value());
+    const SchedulerCounters counters = scheduler.counters();
+    EXPECT_EQ(counters.simulations, 3u)
+        << "an evicted response must not be served from the LRU";
+    EXPECT_EQ(counters.response_lru_hits, 1u);
+    EXPECT_EQ(counters.response_lru_evictions, 2u);
+}
+
+TEST(ResponseLru, ZeroBudgetDisablesCachingEntirely)
+{
+    SchedulerConfig config;
+    config.workers = 1;
+    config.response_cache_bytes = 0;
+    Scheduler scheduler(config);
+
+    ASSERT_TRUE(scheduler.submit(small_request()).has_value());
+    ASSERT_TRUE(scheduler.submit(small_request()).has_value());
+    const SchedulerCounters counters = scheduler.counters();
+    EXPECT_EQ(counters.simulations, 2u);
+    EXPECT_EQ(counters.response_lru_hits, 0u);
+    EXPECT_EQ(counters.response_lru_entries, 0u);
+    EXPECT_EQ(counters.response_lru_bytes, 0u);
+}
+
+TEST(ResponseLru, EngineKeyedFingerprintsNeverAlias)
+{
+    // The same benchmark pinned to opposite engines renders
+    // byte-identical *results*, but the responses embed their own
+    // fingerprints — engine-pinned requests must each simulate cold,
+    // never serve one another's LRU entry.
+    auto pinned = [](const char *engine) {
+        auto parsed = util::json_parse(
+            std::string(R"({"type":"run","benchmarks":["stream"],)") +
+            R"("instructions":100000,"engine":")" + engine + "\"}");
+        EXPECT_TRUE(parsed.has_value());
+        auto decoded = core::decode_experiment_request(parsed.value());
+        EXPECT_TRUE(decoded.has_value())
+            << decoded.status().to_string();
+        return decoded.take();
+    };
+
+    SchedulerConfig config;
+    config.workers = 1;
+    Scheduler scheduler(config);
+    ASSERT_TRUE(scheduler.submit(pinned("analytic")).has_value());
+    ASSERT_TRUE(scheduler.submit(pinned("sim")).has_value());
+    const SchedulerCounters counters = scheduler.counters();
+    EXPECT_EQ(counters.simulations, 2u)
+        << "a sim-pinned request was answered from the analytic "
+           "request's response cache entry";
+    EXPECT_EQ(counters.response_lru_hits, 0u);
+    EXPECT_EQ(counters.response_lru_entries, 2u);
+}
+
+// ------------------------------------------------------ deadline shedding
+
+TEST(Scheduler, ShedsUnmeetableDeadlinesWithoutQueueing)
+{
+    Gate gate;
+    SchedulerConfig config;
+    config.workers = 1;
+    config.max_queue = 4;
+    // Seed the cost model so shedding is deterministic: every job is
+    // assumed to take ten seconds.
+    config.assumed_job_ms = 10'000.0;
+    config.before_job = gate.hook();
+    Scheduler scheduler(config);
+
+    // A: occupies the one worker, held at the gate.
+    std::thread a([&] {
+        EXPECT_TRUE(scheduler.submit(small_request()).has_value());
+    });
+    ASSERT_TRUE(eventually([&] { return gate.entered.load() == 1; }));
+
+    // B: distinct shape, 1 ms deadline — with a 10 s cost model the
+    // estimate cannot fit, so it is shed typed and immediately.
+    core::ExperimentRequest doomed = small_request(true);
+    doomed.deadline_ms = 1;
+    auto rejected = scheduler.submit(std::move(doomed));
+    ASSERT_FALSE(rejected.has_value());
+    EXPECT_EQ(rejected.status().kind(), util::ErrorKind::Overloaded);
+    EXPECT_EQ(scheduler.counters().rejected_deadline, 1u);
+
+    // C: the same shape with no deadline queues normally — deadline
+    // shedding must never reject deadline-free requests.
+    std::thread c([&] {
+        EXPECT_TRUE(scheduler.submit(small_request(true)).has_value());
+    });
+    ASSERT_TRUE(eventually(
+        [&] { return scheduler.counters().queue_depth == 1; }));
+
+    // D: an identical twin of C carrying a hopeless deadline joins the
+    // in-flight group instead of being shed — the deadline is
+    // admission metadata, not part of the dedup key.
+    std::thread d([&] {
+        core::ExperimentRequest twin = small_request(true);
+        twin.deadline_ms = 1;
+        EXPECT_TRUE(scheduler.submit(std::move(twin)).has_value());
+    });
+    ASSERT_TRUE(eventually(
+        [&] { return scheduler.counters().dedup_hits == 1; }));
+
+    gate.release();
+    a.join();
+    c.join();
+    d.join();
+
+    const SchedulerCounters counters = scheduler.counters();
+    EXPECT_EQ(counters.served, 3u);
+    EXPECT_EQ(counters.rejected_deadline, 1u);
+    EXPECT_EQ(counters.rejected_overloaded, 0u);
+}
+
 // ----------------------------------------------------------- full daemon
 
 namespace {
@@ -568,10 +743,12 @@ TEST_F(ServeFixture, LoadRunDedupesAndReportsIdenticalResponses)
 
     const StatsSnapshot stats = server->stats();
     EXPECT_EQ(stats.requests_served, 8u);
-    // At least the concurrent overlap deduped; stragglers that arrive
-    // after the first completion re-simulate (and byte-identity holds
-    // regardless, per distinct_responses above).
-    EXPECT_GE(stats.dedup_hits + stats.cache_hits, 1u);
+    // At least the concurrent overlap deduped or a straggler hit the
+    // response LRU; either way byte-identity holds, per
+    // distinct_responses above.
+    EXPECT_GE(stats.dedup_hits + stats.response_lru_hits +
+                  stats.cache_hits,
+              1u);
 }
 
 TEST_F(ServeFixture, ReapsFinishedSessionsUnderSustainedArrival)
@@ -630,4 +807,110 @@ TEST_F(ServeFixture, StatsReportServedAndLatency)
     EXPECT_GE(stats.find("latency_p99_ms")->number_value(),
               stats.find("latency_p50_ms")->number_value());
     EXPECT_GT(stats.find("uptime_seconds")->number_value(), 0.0);
+}
+
+TEST_F(ServeFixture, StatsCountResponseLruHitsExactly)
+{
+    start();
+
+    RunRequest request;
+    request.benchmarks = {"gzip"};
+    request.instructions = 20'000;
+
+    std::string cold_raw;
+    auto cold = call_endpoint(endpoint, build_run_request(request),
+                              kDefaultMaxFrameBytes, &cold_raw);
+    ASSERT_TRUE(cold.has_value()) << cold.status().to_string();
+
+    // Five sequential reruns: each must be a response-LRU hit carrying
+    // the cold render's exact bytes.
+    constexpr unsigned kReruns = 5;
+    for (unsigned i = 0; i < kReruns; ++i) {
+        std::string warm_raw;
+        auto warm = call_endpoint(endpoint, build_run_request(request),
+                                  kDefaultMaxFrameBytes, &warm_raw);
+        ASSERT_TRUE(warm.has_value()) << warm.status().to_string();
+        EXPECT_EQ(warm_raw, cold_raw)
+            << "LRU-hit rerun " << i
+            << " is not byte-identical to the cold render";
+    }
+
+    auto response = call_endpoint(endpoint, build_stats_request());
+    ASSERT_TRUE(response.has_value());
+    const util::JsonValue &stats = response.value();
+    // Exact accounting, not just >=: one cold simulation, five hits,
+    // one cached entry.
+    EXPECT_EQ(stats.find("requests_served")->u64_value(),
+              1u + kReruns);
+    EXPECT_EQ(stats.find("response_lru_hits")->u64_value(), kReruns);
+    EXPECT_EQ(stats.find("response_lru_entries")->u64_value(), 1u);
+    EXPECT_GT(stats.find("response_lru_bytes")->u64_value(), 0u);
+    EXPECT_EQ(stats.find("response_lru_evictions")->u64_value(), 0u);
+}
+
+TEST_F(ServeFixture, ShedsDeadlinesEndToEnd)
+{
+    // Seed the cost model at ten seconds per job: any request carrying
+    // a millisecond-scale deadline is unmeetable from the first
+    // admission, deterministically.
+    ServerConfig config;
+    config.scheduler.assumed_job_ms = 10'000.0;
+    start(config);
+
+    // Deadline-free requests are never shed, whatever the model says.
+    RunRequest request;
+    request.benchmarks = {"gzip"};
+    request.instructions = 20'000;
+    auto ok = call_endpoint(endpoint, build_run_request(request));
+    ASSERT_TRUE(ok.has_value()) << ok.status().to_string();
+
+    // A distinct (cold) shape with a 1 ms deadline is shed typed.
+    RunRequest doomed = request;
+    doomed.want_payload = true;
+    doomed.deadline_ms = 1;
+    auto shed = call_endpoint(endpoint, build_run_request(doomed));
+    ASSERT_FALSE(shed.has_value());
+    EXPECT_EQ(shed.status().kind(), util::ErrorKind::Overloaded);
+    EXPECT_EQ(server->stats().rejected_deadline, 1u);
+    EXPECT_EQ(server->stats().rejected_overloaded, 0u)
+        << "deadline sheds must be counted apart from queue-bound "
+           "rejections";
+
+    // The same shape with a generous deadline is admitted and served.
+    doomed.deadline_ms = 3'600'000;
+    auto served = call_endpoint(endpoint, build_run_request(doomed));
+    ASSERT_TRUE(served.has_value()) << served.status().to_string();
+    EXPECT_EQ(server->stats().rejected_deadline, 1u);
+}
+
+TEST_F(ServeFixture, PipelinedRequestsAnswerInOrderOnOneConnection)
+{
+    start();
+
+    auto socket = connect_endpoint(endpoint);
+    ASSERT_TRUE(socket.has_value()) << socket.status().to_string();
+
+    // Four frames back-to-back, no reads in between: ping, stats, an
+    // actual run (orders of magnitude slower than the pings), ping.
+    RunRequest request;
+    request.benchmarks = {"gzip"};
+    request.instructions = 20'000;
+    ASSERT_TRUE(send_frame(socket.value(), build_ping_request()).ok());
+    ASSERT_TRUE(send_frame(socket.value(), build_stats_request()).ok());
+    ASSERT_TRUE(
+        send_frame(socket.value(), build_run_request(request)).ok());
+    ASSERT_TRUE(send_frame(socket.value(), build_ping_request()).ok());
+
+    // Replies come back in request order: the trailing ping's reply
+    // must wait behind the run even though it was ready first.
+    const char *expected[] = {"pong", "stats", "run", "pong"};
+    for (const char *type : expected) {
+        auto frame = recv_frame(socket.value());
+        ASSERT_TRUE(frame.has_value()) << frame.status().to_string();
+        auto parsed = util::json_parse(frame.value());
+        ASSERT_TRUE(parsed.has_value()) << frame.value();
+        EXPECT_EQ(parsed.value().find("status")->string_value(), "ok");
+        EXPECT_EQ(parsed.value().find("type")->string_value(), type)
+            << "pipelined replies arrived out of request order";
+    }
 }

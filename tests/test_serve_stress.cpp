@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Stress test of the epoll event loop: hold as many simultaneously
+ * open connections against an in-process daemon as RLIMIT_NOFILE
+ * allows (scaled to the environment, capped so CI stays fast), and
+ * prove three things the thread-per-session model could not deliver:
+ *
+ *  - the daemon *accepts* them all (no per-connection thread, so the
+ *    cap is file descriptors, not stacks);
+ *  - it stays responsive on a fresh connection while every held
+ *    socket sits open;
+ *  - the held sockets themselves are still live sessions — a sample
+ *    of them round-trips requests after sitting idle.
+ *
+ * Both ends of every connection live in this one process, so each
+ * held connection costs two descriptors; the target is derived from
+ * the soft RLIMIT_NOFILE with slack for the suite's own files, and
+ * the test skips outright when the limit is too low to say anything.
+ *
+ * Carries the `serve` CTest label, so the tsan preset runs it under
+ * ThreadSanitizer too.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/net.hpp"
+#include "util/status.hpp"
+
+using namespace leakbound;
+using namespace leakbound::serve;
+
+namespace {
+
+/** Seconds since @p begun, for the phase timings the test prints. */
+double
+seconds_since(std::chrono::steady_clock::time_point begun)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - begun)
+        .count();
+}
+
+/** Spin until @p predicate or the deadline; returns whether it held. */
+template <typename F>
+bool
+eventually(F predicate,
+           std::chrono::milliseconds deadline =
+               std::chrono::seconds(30))
+{
+    const auto until = std::chrono::steady_clock::now() + deadline;
+    while (std::chrono::steady_clock::now() < until) {
+        if (predicate())
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return predicate();
+}
+
+} // namespace
+
+TEST(ServeStress, HoldsAFleetOfOpenConnectionsAndStaysResponsive)
+{
+    rlimit limit{};
+    ASSERT_EQ(getrlimit(RLIMIT_NOFILE, &limit), 0);
+
+    // Two fds per held connection (client end + daemon end), plus
+    // slack for the binary's own files, the listener, the epoll and
+    // eventfd descriptors, and whatever the allocator has open.
+    constexpr std::size_t kSlackFds = 128;
+    constexpr std::size_t kFloor = 64;   // below this, prove nothing
+    constexpr std::size_t kCap = 2'000;  // enough to embarrass threads
+    if (limit.rlim_cur < kSlackFds + 2 * kFloor)
+        GTEST_SKIP() << "RLIMIT_NOFILE " << limit.rlim_cur
+                     << " is too low to hold " << kFloor
+                     << " connections";
+    const std::size_t target = std::min<std::size_t>(
+        (static_cast<std::size_t>(limit.rlim_cur) - kSlackFds) / 2,
+        kCap);
+
+    ServerConfig config;
+    config.unix_path.clear();
+    config.listen_tcp = true;
+    config.tcp_port = 0;
+    config.scheduler.workers = 1;
+    Server server(config);
+    ASSERT_TRUE(server.start().ok());
+    Endpoint endpoint;
+    endpoint.tcp_port = server.tcp_port();
+    std::thread serving([&server] {
+        util::Status served = server.serve();
+        EXPECT_TRUE(served.ok()) << served.to_string();
+    });
+
+    // Open the fleet.  A refused connect mid-fleet is an environment
+    // hiccup only if rare — the daemon itself must not shed below its
+    // max_sessions default (10k), which dwarfs the target here.
+    std::vector<util::net::Socket> held;
+    held.reserve(target);
+    auto begun = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < target; ++i) {
+        auto socket = connect_endpoint(endpoint);
+        if (!socket) {
+            ADD_FAILURE() << "connect " << i << "/" << target
+                          << " failed: "
+                          << socket.status().to_string();
+            break;
+        }
+        held.push_back(socket.take());
+    }
+    ASSERT_GE(held.size(), target * 9 / 10);
+    std::printf("stress: opened %zu connections in %.2fs\n",
+                held.size(), seconds_since(begun));
+
+    // Every accept lands in the event loop; wait for the daemon's own
+    // count to agree with ours.
+    begun = std::chrono::steady_clock::now();
+    EXPECT_TRUE(eventually([&] {
+        return server.stats().open_connections >= held.size();
+    })) << "daemon sees " << server.stats().open_connections
+        << " open connections, client holds " << held.size();
+    std::printf("stress: daemon counted them in %.2fs\n",
+                seconds_since(begun));
+
+    // Fresh connections still round-trip while the fleet sits open.
+    auto pong = call_endpoint(endpoint, build_ping_request());
+    ASSERT_TRUE(pong.has_value()) << pong.status().to_string();
+
+    // And the held sockets are live sessions, not zombies: a spread
+    // sample of them serves requests after idling.
+    begun = std::chrono::steady_clock::now();
+    const std::size_t stride = std::max<std::size_t>(held.size() / 16, 1);
+    for (std::size_t i = 0; i < held.size(); i += stride) {
+        auto reply = call(held[i], build_ping_request());
+        ASSERT_TRUE(reply.has_value())
+            << "held connection " << i << " went dead: "
+            << reply.status().to_string();
+    }
+    std::printf("stress: sampled held connections in %.2fs\n",
+                seconds_since(begun));
+
+    // Closing the fleet drains the daemon's count back down (the
+    // stats probes above may briefly add one of their own).
+    begun = std::chrono::steady_clock::now();
+    held.clear();
+    EXPECT_TRUE(eventually([&] {
+        return server.stats().open_connections <= 1;
+    })) << server.stats().open_connections
+        << " connections still open after the fleet closed";
+    std::printf("stress: fleet closed and reaped in %.2fs\n",
+                seconds_since(begun));
+
+    server.request_drain();
+    serving.join();
+}

@@ -109,6 +109,15 @@ struct ExperimentConfig
      * poison the simulated cache population (and vice versa).
      */
     Engine engine = Engine::Auto;
+    /**
+     * Decision-logic selection for plain simulation (see sim::SimMode):
+     * Kernel runs the devirtualized batch kernel, Reference the
+     * virtual-dispatch path the kernel is differentially fuzzed
+     * against.  Like ignore_interrupts this is excluded from config
+     * fingerprints — the two paths are byte-identical, so the setting
+     * never changes what a completed simulation produces.
+     */
+    sim::SimMode sim_path = sim::SimMode::Kernel;
 };
 
 /** What one cache yielded. */
@@ -166,8 +175,10 @@ struct ExperimentResult
  * four paper technology nodes, the Fig. 7 sweep, the 10K decay point
  * and the decay-sweep ablation.  Union them into
  * ExperimentConfig::extra_edges so one simulation serves them all.
+ * Returns a reference to the memoized list (enumerated once per
+ * process); copy it only when you need to mutate.
  */
-std::vector<Cycles> standard_extra_edges();
+const std::vector<Cycles> &standard_extra_edges();
 
 /** Run @p workload under @p config and collect both caches. */
 ExperimentResult run_experiment(workload::Workload &workload,

@@ -1,15 +1,52 @@
 /**
  * @file
- * Implementation of the in-order timing core.
+ * Implementation of the in-order timing core: construction, config
+ * validation, and the virtual-listener entry points (the run loop
+ * itself is the template in the header).
  */
 
 #include "cpu/inorder_core.hpp"
 
-#include <algorithm>
-
 #include "util/logging.hpp"
 
 namespace leakbound::cpu {
+
+namespace {
+
+/** Routes the templated run loop onto the virtual AccessListener. */
+struct VirtualListener
+{
+    AccessListener *listener;
+
+    void
+    on_instr(Cycle cycle, Pc pc, const sim::HierarchyResult &result)
+    {
+        if (listener)
+            listener->on_instr_access(cycle, pc, result);
+    }
+
+    void
+    on_data(Cycle cycle, Pc pc, Addr addr, bool is_store,
+            const sim::HierarchyResult &result)
+    {
+        if (listener)
+            listener->on_data_access(cycle, pc, addr, is_store, result);
+    }
+
+    void on_group_end() {}
+};
+
+} // namespace
+
+util::Status
+CoreConfig::validate() const
+{
+    if (fetch_width == 0) {
+        return util::Status(util::ErrorKind::InvalidArgument,
+                            "fetch width must be at least 1");
+    }
+    return util::Status();
+}
 
 InOrderCore::InOrderCore(const CoreConfig &config, sim::Hierarchy *hierarchy,
                          workload::Workload *source,
@@ -19,31 +56,9 @@ InOrderCore::InOrderCore(const CoreConfig &config, sim::Hierarchy *hierarchy,
 {
     LEAKBOUND_ASSERT(hierarchy_ != nullptr, "core needs a hierarchy");
     LEAKBOUND_ASSERT(source_ != nullptr, "core needs a workload");
-    if (config_.fetch_width == 0)
-        util::fatal("fetch width must be at least 1");
-}
-
-bool
-InOrderCore::fetch_op(trace::MicroOp &op)
-{
-    if (have_pending_) {
-        op = pending_;
-        have_pending_ = false;
-        return true;
-    }
-    return source_->next(op);
-}
-
-bool
-InOrderCore::peek_op(trace::MicroOp &op)
-{
-    if (!have_pending_) {
-        if (!source_->next(pending_))
-            return false;
-        have_pending_ = true;
-    }
-    op = pending_;
-    return true;
+    const util::Status status = config_.validate();
+    if (!status.ok())
+        throw util::StatusError(status);
 }
 
 CoreRunStats
@@ -55,94 +70,8 @@ InOrderCore::run(std::uint64_t max_instructions)
 CoreRunStats
 InOrderCore::run(std::uint64_t max_instructions, const GroupHook &hook)
 {
-    CoreRunStats stats;
-    const Cycles l1i_hit = hierarchy_->config().l1i.hit_latency;
-    const Cycles l1d_hit = hierarchy_->config().l1d.hit_latency;
-    const std::uint32_t line_shift = hierarchy_->config().l1i.line_shift();
-
-    while (stats.instructions < max_instructions) {
-        trace::MicroOp op;
-        if (!fetch_op(op))
-            break; // finite workload exhausted
-
-        // Form the fetch group: sequential PCs within one I-line, up
-        // to the fetch width.  A taken branch (PC discontinuity) ends
-        // the group, as does a line boundary.
-        const Pc group_pc = op.pc;
-        const Addr group_line = group_pc >> line_shift;
-
-        Cycles worst_data_penalty = 0;
-        std::uint32_t group_size = 0;
-        Pc expected_pc = group_pc;
-        for (;;) {
-            // `op` is the accepted instruction at `expected_pc`.
-            ++group_size;
-            ++stats.instructions;
-            if (op.kind != trace::InstrKind::Op) {
-                const bool is_store = op.kind == trace::InstrKind::Store;
-                const sim::HierarchyResult dres =
-                    hierarchy_->access_data(op.addr);
-                if (is_store)
-                    ++stats.stores;
-                else
-                    ++stats.loads;
-                if (listener_) {
-                    listener_->on_data_access(cycle_, op.pc, op.addr,
-                                              is_store, dres);
-                }
-                if (dres.latency > l1d_hit) {
-                    worst_data_penalty = std::max(worst_data_penalty,
-                                                  dres.latency - l1d_hit);
-                }
-            }
-
-            if (group_size >= config_.fetch_width ||
-                stats.instructions >= max_instructions) {
-                break;
-            }
-            expected_pc += config_.instr_bytes;
-            trace::MicroOp next_op;
-            if (!peek_op(next_op))
-                break;
-            if (next_op.pc != expected_pc ||
-                next_op.pc >> line_shift != group_line) {
-                break;
-            }
-            fetch_op(op);
-        }
-
-        // One instruction-cache access per fetch group.
-        const sim::HierarchyResult ires =
-            hierarchy_->access_instr(group_pc);
-        if (listener_)
-            listener_->on_instr_access(cycle_, group_pc, ires);
-        const Cycles instr_penalty =
-            ires.latency > l1i_hit ? ires.latency - l1i_hit : 0;
-
-        // Misses within the group overlap with each other (take the
-        // max) and partially with downstream work (the discount);
-        // see CoreConfig::miss_overlap_percent.
-        const Cycles worst = std::max(instr_penalty, worst_data_penalty);
-        const Cycles stall =
-            (worst * config_.miss_overlap_percent + 50) / 100;
-
-        ++stats.fetch_groups;
-        if (worst == instr_penalty)
-            stats.instr_stall_cycles += stall;
-        else
-            stats.data_stall_cycles += stall;
-
-        cycle_ += 1 + stall;
-
-        if (hook) {
-            stats.cycles = cycle_;
-            if (!hook(stats))
-                break;
-        }
-    }
-
-    stats.cycles = cycle_;
-    return stats;
+    VirtualListener listener{listener_};
+    return run_loop(max_instructions, hook, listener);
 }
 
 } // namespace leakbound::cpu

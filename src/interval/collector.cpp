@@ -27,56 +27,6 @@ IntervalCollector::emit(const Interval &iv)
 }
 
 void
-IntervalCollector::on_access(FrameId frame, Cycle cycle, bool reuse,
-                             bool stride_predicted, bool nl_covered)
-{
-    LEAKBOUND_ASSERT(!finalized_, "access after finalize()");
-    LEAKBOUND_ASSERT(frame < frames_.size(), "frame id out of range");
-    FrameState &fs = frames_[frame];
-    ++num_accesses_;
-
-    Interval iv;
-    if (!fs.touched) {
-        // Close the Leading interval: power-on to first access.  The
-        // first access is a compulsory fill; no prefetch class, no CD.
-        iv.kind = IntervalKind::Leading;
-        iv.length = cycle;
-        iv.pf = PrefetchClass::NonPrefetchable;
-        iv.ends_in_reuse = false;
-    } else {
-        LEAKBOUND_ASSERT(cycle >= fs.last_access,
-                         "accesses must be time-ordered per frame");
-        iv.kind = IntervalKind::Inner;
-        iv.length = cycle - fs.last_access;
-        // Next-line coverage takes precedence; stride catches the
-        // non-sequential patterns next-line misses (paper Section 5.2
-        // counts them disjointly the same way).
-        if (nl_covered)
-            iv.pf = PrefetchClass::NextLine;
-        else if (stride_predicted)
-            iv.pf = PrefetchClass::Stride;
-        else
-            iv.pf = PrefetchClass::NonPrefetchable;
-        iv.ends_in_reuse = reuse;
-    }
-    emit(iv);
-
-    fs.touched = true;
-    fs.last_access = cycle;
-}
-
-bool
-IntervalCollector::open_since(FrameId frame, Cycle &since) const
-{
-    LEAKBOUND_ASSERT(frame < frames_.size(), "frame id out of range");
-    const FrameState &fs = frames_[frame];
-    if (!fs.touched)
-        return false;
-    since = fs.last_access;
-    return true;
-}
-
-void
 IntervalCollector::append_state(std::vector<std::uint64_t> &out,
                                 Cycle now) const
 {

@@ -26,6 +26,7 @@
 
 #include "interval/interval.hpp"
 #include "interval/interval_histogram.hpp"
+#include "util/logging.hpp"
 #include "util/types.hpp"
 
 namespace leakbound::interval {
@@ -60,14 +61,80 @@ class IntervalCollector
      *              block was touched inside the closing interval (a
      *              next-line prefetcher would have covered this access)
      */
-    void on_access(FrameId frame, Cycle cycle, bool reuse,
-                   bool stride_predicted, bool nl_covered);
+    void
+    on_access(FrameId frame, Cycle cycle, bool reuse,
+              bool stride_predicted, bool nl_covered)
+    {
+        const Interval iv =
+            observe(frame, cycle, reuse, stride_predicted, nl_covered);
+        sink_->add(iv);
+        if (keep_raw_)
+            raw_.push_back(iv);
+    }
+
+    /**
+     * on_access() minus the sink: classify the access, close the
+     * frame's open interval and open a new one, and hand the closed
+     * Interval back instead of adding it to the histogram set.  The
+     * simulation kernel uses this to stage additions in a per-group
+     * buffer (histogram adds commute, so deferring them is
+     * byte-transparent; the frame bookkeeping itself must be immediate
+     * because a later access in the same group may read it).
+     */
+    Interval
+    observe(FrameId frame, Cycle cycle, bool reuse, bool stride_predicted,
+            bool nl_covered)
+    {
+        LEAKBOUND_ASSERT(!finalized_, "access after finalize()");
+        LEAKBOUND_ASSERT(frame < frames_.size(), "frame id out of range");
+        FrameState &fs = frames_[frame];
+        ++num_accesses_;
+
+        Interval iv;
+        if (!fs.touched) {
+            // Close the Leading interval: power-on to first access.
+            // The first access is a compulsory fill; no prefetch
+            // class, no CD.
+            iv.kind = IntervalKind::Leading;
+            iv.length = cycle;
+            iv.pf = PrefetchClass::NonPrefetchable;
+            iv.ends_in_reuse = false;
+        } else {
+            LEAKBOUND_ASSERT(cycle >= fs.last_access,
+                             "accesses must be time-ordered per frame");
+            iv.kind = IntervalKind::Inner;
+            iv.length = cycle - fs.last_access;
+            // Next-line coverage takes precedence; stride catches the
+            // non-sequential patterns next-line misses (paper Section
+            // 5.2 counts them disjointly the same way).
+            if (nl_covered)
+                iv.pf = PrefetchClass::NextLine;
+            else if (stride_predicted)
+                iv.pf = PrefetchClass::Stride;
+            else
+                iv.pf = PrefetchClass::NonPrefetchable;
+            iv.ends_in_reuse = reuse;
+        }
+
+        fs.touched = true;
+        fs.last_access = cycle;
+        return iv;
+    }
 
     /**
      * Start time of @p frame's open interval (its last access), or
      * false if the frame has never been accessed.
      */
-    bool open_since(FrameId frame, Cycle &since) const;
+    bool
+    open_since(FrameId frame, Cycle &since) const
+    {
+        LEAKBOUND_ASSERT(frame < frames_.size(), "frame id out of range");
+        const FrameState &fs = frames_[frame];
+        if (!fs.touched)
+            return false;
+        since = fs.last_access;
+        return true;
+    }
 
     /**
      * Close all open intervals at @p end_cycle, emitting Trailing

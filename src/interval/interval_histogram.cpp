@@ -41,28 +41,6 @@ IntervalHistogramSet::with_default_edges(
     return IntervalHistogramSet(default_edges(extra_thresholds));
 }
 
-std::size_t
-IntervalHistogramSet::slot(IntervalKind kind, PrefetchClass pf, bool reuse)
-{
-    switch (kind) {
-      case IntervalKind::Inner:
-        return static_cast<std::size_t>(pf) * 2 + (reuse ? 1 : 0);
-      case IntervalKind::Leading:
-        return kLeadingSlot;
-      case IntervalKind::Trailing:
-        return kTrailingSlot;
-      case IntervalKind::Untouched:
-        return kUntouchedSlot;
-    }
-    LEAKBOUND_PANIC("unreachable: bad IntervalKind");
-}
-
-void
-IntervalHistogramSet::add(const Interval &iv)
-{
-    hists_[slot(iv.kind, iv.pf, iv.ends_in_reuse)].add(iv.length);
-}
-
 void
 IntervalHistogramSet::merge(const IntervalHistogramSet &other)
 {

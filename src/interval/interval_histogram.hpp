@@ -24,6 +24,7 @@
 #include "interval/interval.hpp"
 #include "util/binary_io.hpp"
 #include "util/histogram.hpp"
+#include "util/logging.hpp"
 #include "util/types.hpp"
 
 namespace leakbound::interval {
@@ -55,8 +56,12 @@ class IntervalHistogramSet
     static IntervalHistogramSet
     with_default_edges(const std::vector<Cycles> &extra_thresholds = {});
 
-    /** Record one interval. */
-    void add(const Interval &iv);
+    /** Record one interval (inline — the simulation kernel's sink). */
+    void
+    add(const Interval &iv)
+    {
+        hists_[slot(iv.kind, iv.pf, iv.ends_in_reuse)].add(iv.length);
+    }
 
     /** Merge a set with identical edges. */
     void merge(const IntervalHistogramSet &other);
@@ -140,9 +145,25 @@ class IntervalHistogramSet
     default_edges(const std::vector<Cycles> &extra_thresholds = {});
 
   private:
-    /** Histogram slot index for (kind, pf, reuse). */
-    static std::size_t slot(IntervalKind kind, PrefetchClass pf,
-                            bool reuse);
+    /**
+     * Histogram slot index for (kind, pf, reuse): Inner intervals use
+     * slots pf * 2 + reuse, then Leading / Trailing / Untouched.
+     */
+    static std::size_t
+    slot(IntervalKind kind, PrefetchClass pf, bool reuse)
+    {
+        switch (kind) {
+          case IntervalKind::Inner:
+            return static_cast<std::size_t>(pf) * 2 + (reuse ? 1 : 0);
+          case IntervalKind::Leading:
+            return kNumPrefetchClasses * 2;
+          case IntervalKind::Trailing:
+            return kNumPrefetchClasses * 2 + 1;
+          case IntervalKind::Untouched:
+            return kNumPrefetchClasses * 2 + 2;
+        }
+        LEAKBOUND_PANIC("unreachable: bad IntervalKind");
+    }
 
     /** One O(1) edge index shared by all nine histograms. */
     std::shared_ptr<const util::EdgeIndex> index_;

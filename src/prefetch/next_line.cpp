@@ -16,34 +16,11 @@ NextLineMonitor::NextLineMonitor(std::size_t expected_blocks)
 {
 }
 
-void
-NextLineMonitor::record(Addr block, Cycle cycle)
-{
-    last_access_.put(block, cycle);
-}
-
 bool
 NextLineMonitor::covers(Addr block, Cycle open_since) const
 {
     return covers(block, open_since,
                   std::numeric_limits<Cycle>::max(), 0);
-}
-
-bool
-NextLineMonitor::covers(Addr block, Cycle open_since, Cycle close_cycle,
-                        Cycles lead_time) const
-{
-    if (block == 0)
-        return false;
-    std::uint64_t when;
-    if (!last_access_.get(block - 1, when))
-        return false;
-    const Cycle deadline =
-        close_cycle >= lead_time ? close_cycle - lead_time : 0;
-    const bool hit = when > open_since && when <= deadline;
-    if (hit)
-        ++covered_;
-    return hit;
 }
 
 void

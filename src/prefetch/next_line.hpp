@@ -37,7 +37,7 @@ class NextLineMonitor
     explicit NextLineMonitor(std::size_t expected_blocks = 1 << 10);
 
     /** Record an access to @p block at @p cycle. */
-    void record(Addr block, Cycle cycle);
+    void record(Addr block, Cycle cycle) { last_access_.put(block, cycle); }
 
     /**
      * Would a next-line prefetcher cover an access to @p block closing
@@ -53,8 +53,22 @@ class NextLineMonitor
      * complete).  The paper's accounting uses lead_time = 0; the
      * timeliness ablation uses the sleep exit path s3+s4.
      */
-    bool covers(Addr block, Cycle open_since, Cycle close_cycle,
-                Cycles lead_time) const;
+    bool
+    covers(Addr block, Cycle open_since, Cycle close_cycle,
+           Cycles lead_time) const
+    {
+        if (block == 0)
+            return false;
+        std::uint64_t when;
+        if (!last_access_.get(block - 1, when))
+            return false;
+        const Cycle deadline =
+            close_cycle >= lead_time ? close_cycle - lead_time : 0;
+        const bool hit = when > open_since && when <= deadline;
+        if (hit)
+            ++covered_;
+        return hit;
+    }
 
     /** Coverage queries answered positively (stats). */
     std::uint64_t covered() const { return covered_; }

@@ -40,8 +40,51 @@ class StridePredictor
      * Observe a load/store by instruction @p pc to byte address
      * @p addr.  @return true when a twice-confirmed stride predicted
      * an address in the same cache line of @p line_bytes granularity.
+     * Header-inline: this is a per-memory-op call on the simulation
+     * kernel's hot path.
      */
-    bool access(Pc pc, Addr addr, std::uint32_t line_bytes = 64);
+    bool
+    access(Pc pc, Addr addr, std::uint32_t line_bytes = 64)
+    {
+        ++observed_;
+        Entry &e = slot_for(pc);
+
+        bool predicted = false;
+        if (e.valid && e.tag == pc) {
+            const std::int64_t stride =
+                static_cast<std::int64_t>(addr) -
+                static_cast<std::int64_t>(e.last_addr);
+            // Prediction check happens against the state *before* this
+            // access: the predictor would have issued last_addr + stride.
+            if (e.confidence >= config_.confirmations &&
+                stride == e.stride) {
+                const Addr predicted_addr = static_cast<Addr>(
+                    static_cast<std::int64_t>(e.last_addr) + e.stride);
+                predicted =
+                    (predicted_addr / line_bytes) == (addr / line_bytes);
+            }
+            // Learn.
+            if (stride == e.stride) {
+                if (e.confidence < ~0u)
+                    ++e.confidence;
+            } else {
+                e.stride = stride;
+                e.confidence = 1;
+            }
+            e.last_addr = addr;
+        } else {
+            // Cold or conflicting entry: claim it.
+            e.valid = true;
+            e.tag = pc;
+            e.last_addr = addr;
+            e.stride = 0;
+            e.confidence = 0;
+        }
+
+        if (predicted)
+            ++covered_;
+        return predicted;
+    }
 
     /** Covered accesses so far. */
     std::uint64_t covered() const { return covered_; }
@@ -70,7 +113,20 @@ class StridePredictor
         bool valid = false;
     };
 
-    Entry &slot_for(Pc pc);
+    Entry &
+    slot_for(Pc pc)
+    {
+        if (config_.table_entries != 0) {
+            return table_[(pc >> 2) & (config_.table_entries - 1)];
+        }
+        // Unbounded: linear search (test/limit-study use only).
+        for (auto &e : table_) {
+            if (e.valid && e.tag == pc)
+                return e;
+        }
+        table_.emplace_back();
+        return table_.back();
+    }
 
     StrideConfig config_;
     std::vector<Entry> table_;

@@ -1,6 +1,9 @@
 /**
  * @file
- * Implementation of the set-associative cache model.
+ * Implementation of the set-associative cache model: construction,
+ * the reference (virtual-policy) access path, and state snapshots.
+ * The kernel access path lives in cache.hpp so it inlines into the
+ * simulation loop.
  */
 
 #include "sim/cache.hpp"
@@ -9,8 +12,15 @@
 
 namespace leakbound::sim {
 
-Cache::Cache(const CacheConfig &config, std::uint64_t seed)
-    : config_(config), seed_(seed)
+namespace {
+
+/** Widest associativity one 64-bit rank word can pack. */
+constexpr std::uint32_t kMaxKernelWays = 8;
+
+} // namespace
+
+Cache::Cache(const CacheConfig &config, std::uint64_t seed, SimMode mode)
+    : config_(config), kernel_rng_(seed), seed_(seed)
 {
     config_.validate();
     ways_ = config_.associativity;
@@ -20,10 +30,13 @@ Cache::Cache(const CacheConfig &config, std::uint64_t seed)
     valid_.assign(config_.num_frames(), 0);
     repl_ = make_replacement(config_.replacement, config_.num_sets(),
                              config_.associativity, seed_);
+    kernel_ = mode == SimMode::Kernel && ways_ <= kMaxKernelWays;
+    if (kernel_)
+        rank_.assign(config_.num_sets(), initial_rank(ways_));
 }
 
 AccessResult
-Cache::access(Addr addr)
+Cache::access_reference(Addr addr)
 {
     const Addr block = addr >> line_shift_;
     const std::uint64_t set = block & set_mask_;
@@ -108,6 +121,18 @@ Cache::append_state(std::vector<std::uint64_t> &out) const
     }
     if (valid_.size() & 63)
         out.push_back(word);
+    if (kernel_) {
+        // The rank word *is* the canonical recency permutation: byte p
+        // holds the way at rank p, exactly the sequence the reference
+        // policies' append_rank_state emits (stamps sorted ascending,
+        // ties toward the lower way).
+        if (config_.replacement == ReplacementKind::Random)
+            return false;
+        for (const std::uint64_t r : rank_)
+            for (std::uint32_t p = 0; p < ways_; ++p)
+                out.push_back((r >> (8 * p)) & 0xff);
+        return true;
+    }
     return repl_->append_state(out);
 }
 
@@ -119,6 +144,11 @@ Cache::reset()
     stats_ = CacheStats{};
     repl_ = make_replacement(config_.replacement, config_.num_sets(),
                              config_.associativity, seed_);
+    kernel_rng_ = util::Rng(seed_);
+    last_block_ = kInvalidAddr;
+    last_frame_ = kInvalidFrame;
+    if (kernel_)
+        rank_.assign(rank_.size(), initial_rank(ways_));
 }
 
 } // namespace leakbound::sim

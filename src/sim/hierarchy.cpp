@@ -1,6 +1,7 @@
 /**
  * @file
- * Implementation of the three-level hierarchy.
+ * Implementation of the three-level hierarchy (construction and
+ * validation; the access paths are inline in the header).
  */
 
 #include "sim/hierarchy.hpp"
@@ -22,39 +23,11 @@ HierarchyConfig::validate() const
     }
 }
 
-Hierarchy::Hierarchy(const HierarchyConfig &config)
-    : config_(config), l1i_(config.l1i, /*seed=*/11),
-      l1d_(config.l1d, /*seed=*/13), l2_(config.l2, /*seed=*/17)
+Hierarchy::Hierarchy(const HierarchyConfig &config, SimMode mode)
+    : config_(config), l1i_(config.l1i, /*seed=*/11, mode),
+      l1d_(config.l1d, /*seed=*/13, mode), l2_(config.l2, /*seed=*/17, mode)
 {
     config_.validate();
-}
-
-HierarchyResult
-Hierarchy::access_through(Cache &l1, Addr addr)
-{
-    HierarchyResult out;
-    out.l1 = l1.access(addr);
-    if (out.l1.hit) {
-        out.latency = l1.config().hit_latency;
-        return out;
-    }
-    out.l2 = l2_.access(addr);
-    out.l2_hit = out.l2.hit;
-    out.latency = out.l2.hit ? l2_.config().hit_latency
-                             : config_.memory_latency;
-    return out;
-}
-
-HierarchyResult
-Hierarchy::access_instr(Pc pc)
-{
-    return access_through(l1i_, pc);
-}
-
-HierarchyResult
-Hierarchy::access_data(Addr addr)
-{
-    return access_through(l1d_, addr);
 }
 
 } // namespace leakbound::sim

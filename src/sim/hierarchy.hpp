@@ -2,6 +2,10 @@
  * @file
  * Three-level memory hierarchy: split L1 (I/D) over a unified L2 over
  * flat memory, with the paper's latencies (Section 4.1).
+ *
+ * The access paths are defined inline so that, together with the
+ * cache's kernel access path, one hierarchy access compiles into a
+ * single straight-line routine inside the simulation loop.
  */
 
 #ifndef LEAKBOUND_SIM_HIERARCHY_HPP
@@ -41,13 +45,21 @@ struct HierarchyResult
 class Hierarchy
 {
   public:
-    explicit Hierarchy(const HierarchyConfig &config);
+    /**
+     * @param mode decision-logic selection forwarded to all three
+     *        caches (byte-identical either way; see SimMode).
+     */
+    explicit Hierarchy(const HierarchyConfig &config,
+                       SimMode mode = SimMode::Kernel);
 
     /** Fetch the instruction line containing @p pc. */
-    HierarchyResult access_instr(Pc pc);
+    HierarchyResult access_instr(Pc pc) { return access_through(l1i_, pc); }
 
     /** Load/store the data line containing @p addr. */
-    HierarchyResult access_data(Addr addr);
+    HierarchyResult access_data(Addr addr)
+    {
+        return access_through(l1d_, addr);
+    }
 
     /** The instruction L1. */
     Cache &l1i() { return l1i_; }
@@ -65,7 +77,21 @@ class Hierarchy
     const HierarchyConfig &config() const { return config_; }
 
   private:
-    HierarchyResult access_through(Cache &l1, Addr addr);
+    HierarchyResult
+    access_through(Cache &l1, Addr addr)
+    {
+        HierarchyResult out;
+        out.l1 = l1.access(addr);
+        if (out.l1.hit) {
+            out.latency = l1.config().hit_latency;
+            return out;
+        }
+        out.l2 = l2_.access(addr);
+        out.l2_hit = out.l2.hit;
+        out.latency = out.l2.hit ? l2_.config().hit_latency
+                                 : config_.memory_latency;
+        return out;
+    }
 
     HierarchyConfig config_;
     Cache l1i_;

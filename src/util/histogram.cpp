@@ -28,20 +28,6 @@ Histogram::Histogram(std::shared_ptr<const EdgeIndex> index)
 }
 
 void
-Histogram::add(std::uint64_t value)
-{
-    add_many(value, 1);
-}
-
-void
-Histogram::add_many(std::uint64_t value, std::uint64_t n)
-{
-    auto &b = bins_[index_->bin_index(value)];
-    b.count += n;
-    b.sum += value * n;
-}
-
-void
 Histogram::merge(const Histogram &other)
 {
     LEAKBOUND_ASSERT(index_ == other.index_ || edges() == other.edges(),

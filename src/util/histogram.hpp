@@ -60,11 +60,17 @@ class Histogram
      */
     explicit Histogram(std::shared_ptr<const EdgeIndex> index);
 
-    /** Add one sample. */
-    void add(std::uint64_t value);
+    /** Add one sample (inline — the simulation kernel's hot sink). */
+    void add(std::uint64_t value) { add_many(value, 1); }
 
     /** Add @p n identical samples of @p value. */
-    void add_many(std::uint64_t value, std::uint64_t n);
+    void
+    add_many(std::uint64_t value, std::uint64_t n)
+    {
+        HistBin &b = bins_[index_->bin_index(value)];
+        b.count += n;
+        b.sum += value * n;
+    }
 
     /** Merge a histogram with identical edges into this one. */
     void merge(const Histogram &other);

@@ -136,6 +136,41 @@ CallGraphProgram::next(trace::MicroOp &op)
     return true;
 }
 
+std::size_t
+CallGraphProgram::next_batch(trace::MicroOp *out, std::size_t max)
+{
+    // Block-filling form of next(): drain the current function body in
+    // a tight loop (identical pattern draws); the repeat/call
+    // transitions reuse next() itself, keeping the walk RNG draw order
+    // exactly the one-op path's.
+    std::size_t got = 0;
+    while (got < max) {
+        const Function &fn = functions_[current_];
+        if (instr_idx_ < fn.kinds.size()) {
+            DataPattern *pattern =
+                fn.pattern >= 0
+                    ? patterns_[static_cast<std::size_t>(fn.pattern)].get()
+                    : nullptr;
+            const std::size_t end = fn.kinds.size();
+            while (got < max && instr_idx_ < end) {
+                trace::MicroOp &op = out[got++];
+                op.pc =
+                    fn.base_pc + static_cast<Pc>(instr_idx_) * kInstrBytes;
+                op.kind = fn.kinds[instr_idx_];
+                op.addr = op.kind == trace::InstrKind::Op
+                              ? kInvalidAddr
+                              : pattern->next();
+                ++instr_idx_;
+            }
+            continue;
+        }
+        if (!next(out[got]))
+            break;
+        ++got;
+    }
+    return got;
+}
+
 void
 CallGraphProgram::reset()
 {

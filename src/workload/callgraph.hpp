@@ -57,6 +57,7 @@ class CallGraphProgram final : public Workload
 
     std::string name() const override { return name_; }
     bool next(trace::MicroOp &op) override;
+    std::size_t next_batch(trace::MicroOp *out, std::size_t max) override;
     void reset() override;
 
     /** Static code footprint in bytes. */

@@ -34,6 +34,13 @@ class SequentialPattern final : public DataPattern
 
     void reset() override { offset_ = 0; }
 
+    void
+    fill(Addr *out, std::size_t n) override
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = next(); // devirtualized: final class
+    }
+
     bool
     append_state(std::vector<std::uint64_t> &out) const override
     {
@@ -83,6 +90,13 @@ class StridedPattern final : public DataPattern
         phase_ = 0;
     }
 
+    void
+    fill(Addr *out, std::size_t n) override
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = next(); // devirtualized: final class
+    }
+
     bool
     append_state(std::vector<std::uint64_t> &out) const override
     {
@@ -118,6 +132,13 @@ class RandomPattern final : public DataPattern
     }
 
     void reset() override { rng_ = util::Rng(seed_); }
+
+    void
+    fill(Addr *out, std::size_t n) override
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = next(); // devirtualized: final class
+    }
 
   private:
     Addr base_;
@@ -158,6 +179,13 @@ class PointerChasePattern final : public DataPattern
     }
 
     void reset() override { current_ = 0; }
+
+    void
+    fill(Addr *out, std::size_t n) override
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = next(); // devirtualized: final class
+    }
 
     bool
     append_state(std::vector<std::uint64_t> &out) const override
@@ -204,6 +232,13 @@ class StackPattern final : public DataPattern
     {
         rng_ = util::Rng(seed_);
         pos_ = 0;
+    }
+
+    void
+    fill(Addr *out, std::size_t n) override
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = next(); // devirtualized: final class
     }
 
   private:

@@ -37,6 +37,20 @@ class DataPattern
     /** Next referenced byte address. */
     virtual Addr next() = 0;
 
+    /**
+     * Produce the next @p n addresses into @p out — exactly the stream
+     * n calls to next() would yield.  Concrete patterns override this
+     * with the same loop so next() devirtualizes inside it (they are
+     * final classes); generators batch one fill() per basic-block span
+     * instead of one virtual draw per memory op.
+     */
+    virtual void
+    fill(Addr *out, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = next();
+    }
+
     /** Restart the stream deterministically. */
     virtual void reset() = 0;
 

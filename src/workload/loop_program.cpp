@@ -5,6 +5,8 @@
 
 #include "workload/loop_program.hpp"
 
+#include <algorithm>
+
 #include "util/logging.hpp"
 
 namespace leakbound::workload {
@@ -16,6 +18,9 @@ constexpr std::uint32_t kLatchInstrs = 2;
 
 /** Bytes per instruction (fixed-width encoding). */
 constexpr std::uint32_t kInstrBytes = 4;
+
+/** Address draws batched per DataPattern::fill() call. */
+constexpr std::size_t kAddrBatch = 64;
 
 } // namespace
 
@@ -89,6 +94,13 @@ LoopProgram::flatten(const NodeSpec &spec, Pc &next_pc,
             } else {
                 flat.kinds.push_back(trace::InstrKind::Op);
             }
+        }
+        flat.mem_prefix.reserve(b.instrs + 1);
+        flat.mem_prefix.push_back(0);
+        for (trace::InstrKind k : flat.kinds) {
+            flat.mem_prefix.push_back(
+                flat.mem_prefix.back() +
+                (k != trace::InstrKind::Op ? 1 : 0));
         }
         next_pc += static_cast<Pc>(b.instrs) * kInstrBytes;
         node.block_index = blocks_.size();
@@ -182,6 +194,70 @@ LoopProgram::next(trace::MicroOp &op)
             stack_.pop_back();
         }
     }
+}
+
+std::size_t
+LoopProgram::next_batch(trace::MicroOp *out, std::size_t max)
+{
+    // Block-filling form of next(): the two emission states (latch,
+    // straight-line block) run as tight loops emitting exactly the ops
+    // next() would, with identical pattern draws; the state-machine
+    // transitions between them reuse next() itself.
+    std::size_t got = 0;
+    while (got < max) {
+        if (latch_pc_ != 0) {
+            while (got < max && latch_pc_ != 0) {
+                trace::MicroOp &op = out[got++];
+                op.pc =
+                    latch_pc_ + static_cast<Pc>(latch_idx_) * kInstrBytes;
+                op.kind = trace::InstrKind::Op;
+                op.addr = kInvalidAddr;
+                if (++latch_idx_ == kLatchInstrs)
+                    latch_pc_ = 0;
+            }
+            continue;
+        }
+        if (cur_block_ != nullptr &&
+            instr_idx_ < cur_block_->kinds.size()) {
+            const FlatBlock &blk = *cur_block_;
+            DataPattern *pattern =
+                blk.pattern >= 0
+                    ? patterns_[static_cast<std::size_t>(blk.pattern)]
+                          .get()
+                    : nullptr;
+            const std::size_t end_all = blk.kinds.size();
+            while (got < max && instr_idx_ < end_all) {
+                // Count the span's pattern draws up front and batch
+                // them through one virtual fill() — same draws in the
+                // same order next() would make.
+                const std::size_t span =
+                    std::min({end_all - instr_idx_, max - got,
+                              kAddrBatch});
+                const std::size_t start = instr_idx_;
+                const std::size_t end = start + span;
+                const std::uint32_t nmem =
+                    blk.mem_prefix[end] - blk.mem_prefix[start];
+                Addr addrs[kAddrBatch];
+                if (nmem != 0)
+                    pattern->fill(addrs, nmem);
+                std::size_t draw = 0;
+                for (std::size_t i = start; i < end; ++i) {
+                    trace::MicroOp &op = out[got++];
+                    op.pc = blk.base_pc + static_cast<Pc>(i) * kInstrBytes;
+                    op.kind = blk.kinds[i];
+                    op.addr = op.kind == trace::InstrKind::Op
+                                  ? kInvalidAddr
+                                  : addrs[draw++];
+                }
+                instr_idx_ = static_cast<std::uint32_t>(end);
+            }
+            continue;
+        }
+        if (!next(out[got]))
+            break;
+        ++got;
+    }
+    return got;
 }
 
 void

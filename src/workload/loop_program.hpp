@@ -71,6 +71,7 @@ class LoopProgram final : public Workload
 
     std::string name() const override { return name_; }
     bool next(trace::MicroOp &op) override;
+    std::size_t next_batch(trace::MicroOp *out, std::size_t max) override;
     void reset() override;
 
     /**
@@ -98,6 +99,12 @@ class LoopProgram final : public Workload
     {
         Pc base_pc = 0;
         std::vector<trace::InstrKind> kinds;
+        /**
+         * mem_prefix[i] = memory ops among kinds[0..i) — lets
+         * next_batch() count the pattern draws of any span up front
+         * and batch them through DataPattern::fill().
+         */
+        std::vector<std::uint32_t> mem_prefix;
         int pattern = -1;
     };
 

@@ -5,6 +5,8 @@
 
 #include "workload/workload.hpp"
 
+#include <algorithm>
+
 #include "util/logging.hpp"
 
 namespace leakbound::workload {
@@ -41,6 +43,39 @@ CompositeWorkload::next(trace::MicroOp &op)
         executed_in_phase_ = 0;
     }
     return false;
+}
+
+std::size_t
+CompositeWorkload::next_batch(trace::MicroOp *out, std::size_t max)
+{
+    // Chunked form of next(): take ops from the current phase in runs
+    // bounded by its remaining quantum, rotating on exhaustion exactly
+    // where the one-op path would.  `dry` counts consecutive phases
+    // that produced nothing, mirroring next()'s give-up bound.
+    std::size_t got = 0;
+    std::size_t dry = 0;
+    while (got < max && dry <= phases_.size()) {
+        Phase &phase = phases_[current_];
+        if (executed_in_phase_ >= phase.quantum) {
+            current_ = (current_ + 1) % phases_.size();
+            executed_in_phase_ = 0;
+            continue;
+        }
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(max - got,
+                                    phase.quantum - executed_in_phase_));
+        const std::size_t g = phase.child->next_batch(out + got, want);
+        executed_in_phase_ += g;
+        got += g;
+        if (g == 0) {
+            current_ = (current_ + 1) % phases_.size();
+            executed_in_phase_ = 0;
+            ++dry;
+        } else {
+            dry = 0;
+        }
+    }
+    return got;
 }
 
 void

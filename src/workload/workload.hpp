@@ -50,6 +50,24 @@ class Workload
      */
     virtual bool next(trace::MicroOp &op) = 0;
 
+    /**
+     * Produce up to @p max instructions into @p out, returning the
+     * number produced (0 = exhausted).  The batch is *exactly* the
+     * stream next() would produce — one virtual call amortized over a
+     * block instead of one per µop (the simulation kernel's fetch ring
+     * refills through this; see DESIGN.md "Simulation kernel").  The
+     * default forwards to next() one op at a time; generators with
+     * cheap inner loops override it with a block-filling loop.
+     */
+    virtual std::size_t
+    next_batch(trace::MicroOp *out, std::size_t max)
+    {
+        std::size_t got = 0;
+        while (got < max && next(out[got]))
+            ++got;
+        return got;
+    }
+
     /** Restart the stream deterministically from the beginning. */
     virtual void reset() = 0;
 
@@ -105,6 +123,7 @@ class CompositeWorkload final : public Workload
 
     std::string name() const override { return name_; }
     bool next(trace::MicroOp &op) override;
+    std::size_t next_batch(trace::MicroOp *out, std::size_t max) override;
     void reset() override;
 
   private:

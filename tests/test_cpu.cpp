@@ -215,6 +215,42 @@ TEST(InOrderCore, DataAccessesReachTheL1D)
     EXPECT_EQ(h.l1d().stats().hits, 1u);
 }
 
+TEST(InOrderCore, ZeroFetchWidthIsATypedError)
+{
+    CoreConfig bad;
+    bad.fetch_width = 0;
+    const util::Status status = bad.validate();
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.kind(), util::ErrorKind::InvalidArgument);
+
+    // The constructor surfaces the same status as an exception — a
+    // malformed request fails its own job instead of aborting.
+    ScriptedWorkload w(straight_line(0x1000, 4));
+    sim::Hierarchy h{sim::HierarchyConfig{}};
+    EXPECT_THROW(InOrderCore(bad, &h, &w, nullptr), util::StatusError);
+    EXPECT_TRUE(CoreConfig{}.validate().ok());
+}
+
+TEST(InOrderCore, BatchedAndUnbatchedFetchAgree)
+{
+    // set_batch_fetch(false) is the differential fuzzer's reference
+    // arm: the op stream and all statistics must be identical.
+    ScriptedWorkload wa(straight_line(0x1000, 100));
+    ScriptedWorkload wb(straight_line(0x1000, 100));
+    sim::Hierarchy ha{sim::HierarchyConfig{}};
+    sim::Hierarchy hb{sim::HierarchyConfig{}};
+    InOrderCore batched(CoreConfig{}, &ha, &wa, nullptr);
+    InOrderCore unbatched(CoreConfig{}, &hb, &wb, nullptr);
+    unbatched.set_batch_fetch(false);
+    const CoreRunStats a = batched.run(1'000'000);
+    const CoreRunStats b = unbatched.run(1'000'000);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.fetch_groups, b.fetch_groups);
+    EXPECT_EQ(a.loads, b.loads);
+    EXPECT_EQ(a.stores, b.stores);
+}
+
 TEST(InOrderCore, RespectsInstructionBudget)
 {
     ScriptedWorkload w(straight_line(0x1000, 100));

@@ -99,7 +99,7 @@ TEST(IntervalHistogram, DefaultEdgesContainEveryStockThreshold)
     // The contract the exact evaluator rests on: every decision
     // boundary of every stock experiment policy is a bin edge once
     // standard_extra_edges() is folded in.
-    const auto extra = core::standard_extra_edges();
+    const auto &extra = core::standard_extra_edges();
     const auto edges = IntervalHistogramSet::default_edges(extra);
     for (Cycles t : extra) {
         EXPECT_TRUE(std::binary_search(edges.begin(), edges.end(), t))

@@ -13,6 +13,7 @@
  * Requests are JSON objects dispatched on their "type" member:
  *
  *   {"type": "ping"}                      -> {"status":"ok","type":"pong"}
+ *   {"type": "health"}                    -> the HealthSnapshot object
  *   {"type": "stats"}                     -> the StatsSnapshot object
  *   {"type": "run", "benchmarks": [...],
  *    "instructions": N, ...}              -> the run response (below)
@@ -36,6 +37,7 @@
 
 #include "core/experiment.hpp"
 #include "core/experiment_request.hpp"
+#include "util/json.hpp"
 #include "util/net.hpp"
 #include "util/status.hpp"
 
@@ -65,6 +67,16 @@ util::Status send_frame(const util::net::Socket &socket,
 util::Expected<std::string>
 recv_frame(const util::net::Socket &socket,
            std::size_t max_frame = kDefaultMaxFrameBytes);
+
+/**
+ * recv_frame with a wall-clock bound per phase (header, payload):
+ * IoError once @p deadline_ms elapse without the bytes arriving.  The
+ * supervisor's health probes and control plane use this — neither may
+ * ever park forever behind a wedged or malicious peer.
+ */
+util::Expected<std::string>
+recv_frame_deadline(const util::net::Socket &socket,
+                    std::size_t max_frame, int deadline_ms);
 
 /** Lower-case hex of @p bytes (the "payload" member encoding). */
 std::string hex_encode(const std::string &bytes);
@@ -98,6 +110,7 @@ struct StatsSnapshot
     std::uint64_t open_connections = 0;  ///< instantaneous live connections
     std::uint64_t queue_depth = 0;       ///< requests admitted, not started
     std::uint64_t running = 0;           ///< suites executing right now
+    std::uint64_t locks_broken = 0;      ///< stale cache locks broken (crash hygiene)
     double latency_p50_ms = 0.0;         ///< over served run requests
     double latency_p99_ms = 0.0;
     double uptime_seconds = 0.0;
@@ -105,6 +118,30 @@ struct StatsSnapshot
 
 /** Render the stats response frame. */
 std::string render_stats(const StatsSnapshot &stats);
+
+/**
+ * Write the StatsSnapshot members into an already-open JSON object.
+ * The supervisor uses this to emit its aggregated /stats with the
+ * exact field names and order of a single shard's, plus its own
+ * "fleet" block appended.
+ */
+void write_stats_fields(util::JsonWriter &w, const StatsSnapshot &stats);
+
+/**
+ * What the /health request reports: process identity plus liveness.
+ * Cheap by design — the supervisor probes it on a deadline, so the
+ * render must never touch the scheduler's queues or block.
+ */
+struct HealthSnapshot
+{
+    int shard_index = -1;     ///< fleet position; -1 when unsharded
+    std::int64_t pid = 0;     ///< the answering process
+    bool draining = false;    ///< drain requested; no new work admitted
+    double uptime_seconds = 0.0;
+};
+
+/** Render the health response frame. */
+std::string render_health(const HealthSnapshot &health);
 
 /**
  * Render the run response for @p outcome.  @p fingerprint is the dedup

@@ -290,6 +290,10 @@ Scheduler::execute(const core::ExperimentRequest &request,
             counters_.cache_hits += loaded;
             counters_.analytic_runs += analytic;
             counters_.sim_runs += simulated;
+            // Crash hygiene: a shard that SIGKILLed mid-store leaves a
+            // stale .lock behind; the breaker count surfacing here is
+            // how an operator sees the fleet healing itself.
+            counters_.locks_broken += outcome.cache.lock_breaks;
         }
         // Only flawless outcomes are worth pinning in the LRU: a
         // degraded or partially-failed response must not outlive the

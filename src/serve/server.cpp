@@ -6,7 +6,10 @@
 
 #include "serve/server.hpp"
 
+#include <algorithm>
 #include <cstdio>
+
+#include <unistd.h>
 
 #include "util/interrupt.hpp"
 #include "util/json.hpp"
@@ -117,7 +120,13 @@ Server::serve()
         !added.ok())
         return added;
 
+    // Birth heartbeat: the supervisor's liveness clock starts from the
+    // moment the loop is actually turning, not from fork().
+    next_heartbeat_at_ = std::chrono::steady_clock::now();
+    emit_heartbeat();
+
     while (!drain_requested_.load() && !util::interrupt_requested()) {
+        emit_heartbeat();
         auto waited = epoll_.wait(events_, config_.poll_interval_ms);
         if (!waited) {
             return util::Status(util::ErrorKind::IoError,
@@ -375,6 +384,10 @@ Server::dispatch(Connection *connection, const std::string &payload)
         enqueue_ready(connection, render_stats(stats()));
         return;
     }
+    if (kind == "health") {
+        enqueue_ready(connection, render_health(health()));
+        return;
+    }
     if (kind == "run") {
         auto decoded = core::decode_experiment_request(
             request, config_.max_instructions);
@@ -612,6 +625,7 @@ Server::stats() const
     snapshot.rejected_shutting_down = counters.rejected_shutting_down;
     snapshot.queue_depth = counters.queue_depth;
     snapshot.running = counters.running;
+    snapshot.locks_broken = counters.locks_broken;
     snapshot.open_connections = live_connections_.load();
     snapshot.uptime_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -624,6 +638,39 @@ Server::stats() const
     snapshot.latency_p50_ms = latency_ms_.p50();
     snapshot.latency_p99_ms = latency_ms_.p99();
     return snapshot;
+}
+
+HealthSnapshot
+Server::health() const
+{
+    HealthSnapshot snapshot;
+    snapshot.shard_index = config_.shard_index;
+    snapshot.pid = static_cast<std::int64_t>(::getpid());
+    snapshot.draining = drain_requested_.load();
+    snapshot.uptime_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started_at_)
+            .count();
+    return snapshot;
+}
+
+void
+Server::emit_heartbeat()
+{
+    if (config_.heartbeat_fd < 0)
+        return;
+    const auto now = std::chrono::steady_clock::now();
+    if (now < next_heartbeat_at_)
+        return;
+    next_heartbeat_at_ =
+        now + std::chrono::milliseconds(
+                  std::max(config_.heartbeat_interval_ms, 1));
+    // Non-blocking by construction (the supervisor opens the pipe
+    // O_NONBLOCK): a full pipe means the supervisor is behind on
+    // draining, and dropping a pulse is exactly right — liveness is
+    // recency, not a count.
+    const char pulse = 'h';
+    (void)!::write(config_.heartbeat_fd, &pulse, 1);
 }
 
 } // namespace leakbound::serve

@@ -61,6 +61,20 @@ struct ServerConfig
     int poll_interval_ms = 100;
     /** Grace period for flushing answered connections on drain. */
     int drain_flush_ms = 2'000;
+    /**
+     * Fleet position reported by /health (-1 = standalone daemon).
+     * The supervisor stamps this when forking shards.
+     */
+    int shard_index = -1;
+    /**
+     * Write end of the supervisor's heartbeat pipe (-1 = none).  The
+     * event loop writes one byte per interval from its own thread, so
+     * a heartbeat proves the loop itself is turning, not merely that
+     * the process exists.  Not owned: the supervisor child closes it
+     * via process exit.
+     */
+    int heartbeat_fd = -1;
+    int heartbeat_interval_ms = 250;
     SchedulerConfig scheduler;
 };
 
@@ -96,6 +110,9 @@ class Server
 
     /** Assemble the /stats view (also what sessions reply with). */
     StatsSnapshot stats() const;
+
+    /** Assemble the /health view (cheap; never touches the scheduler). */
+    HealthSnapshot health() const;
 
   private:
     /** One queued response frame, in request order. */
@@ -161,6 +178,8 @@ class Server
     void note_protocol_error();
     /** Flush answered connections after drain, bounded by grace. */
     void drain_flush();
+    /** Pulse the supervisor's heartbeat pipe when due (no-op unpiped). */
+    void emit_heartbeat();
 
     ServerConfig config_;
     std::unique_ptr<Scheduler> scheduler_;
@@ -170,6 +189,7 @@ class Server
     bool started_ = false;
     std::atomic<bool> drain_requested_{false};
     std::chrono::steady_clock::time_point started_at_;
+    std::chrono::steady_clock::time_point next_heartbeat_at_;
 
     // ---- event loop state: touched only by the serve() thread ----
     util::net::Epoll epoll_;

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * The leakboundd shard supervisor: fork N shard processes, each
+ * running the PR 7 epoll event loop on its own socket, over one shared
+ * artifact cache; keep them alive.
+ *
+ * Process model (DESIGN.md §6): the supervisor is the parent and is
+ * deliberately thread-free — no Scheduler, no Server, no worker pool —
+ * so fork() is always safe and a shard crash can never corrupt parent
+ * state.  Each shard is a fork()ed child that builds its own Server
+ * (and with it its own scheduler threads) from a per-shard copy of the
+ * ServerConfig template: unix shard i listens on "<base>.<i>", TCP
+ * shard i on base port + 1 + i.  The base endpoint itself belongs to
+ * the supervisor's control plane (ping / health / aggregated stats —
+ * run requests are redirected to the shards with a typed error).
+ *
+ * Liveness is judged two ways, because they fail differently:
+ *
+ *  - a heartbeat pipe per shard — the shard's event loop writes one
+ *    byte per interval, so a pulse proves the loop itself is turning;
+ *    a SIGKILLed shard additionally closes the pipe, so death is seen
+ *    the same tick;
+ *  - a periodic /health request with a hard receive deadline — this
+ *    catches the wedge the pipe cannot: a process whose loop still
+ *    turns but whose listener stopped answering.
+ *
+ * Dead or wedged shards are restarted with capped-exponential backoff
+ * and deterministic jitter (the PR 4 lock-backoff shape).  A shard
+ * that dies more than `restart_limit` times inside `restart_window_s`
+ * trips the crash-loop circuit breaker: the fleet is torn down and
+ * run() returns a typed CrashLoop status whose message is the JSON
+ * incident report — a config so broken that every incarnation dies is
+ * an operator problem, not something to retry forever.  SIGTERM/SIGINT
+ * fan out to every shard with a drain deadline before SIGKILL.
+ */
+
+#ifndef LEAKBOUND_SERVE_SUPERVISOR_HPP
+#define LEAKBOUND_SERVE_SUPERVISOR_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "util/net.hpp"
+#include "util/random.hpp"
+#include "util/status.hpp"
+
+namespace leakbound::serve {
+
+/** Shape of one shard fleet. */
+struct SupervisorConfig
+{
+    /** Shard processes to run (>= 1). */
+    unsigned shards = 2;
+    /**
+     * Per-shard ServerConfig template.  unix_path / tcp_port are the
+     * BASE endpoint: shards derive theirs (see shard_endpoint), the
+     * supervisor's control plane listens on the base itself.  Sharded
+     * TCP therefore needs an explicit nonzero base port.
+     */
+    ServerConfig shard;
+    /** Supervision loop tick (liveness/restart latency floor). */
+    int tick_ms = 50;
+    /** Heartbeat silence treated as a wedged event loop (0 = off). */
+    int heartbeat_timeout_ms = 5'000;
+    /** Spacing of per-shard /health probes (0 = off). */
+    int health_interval_ms = 1'000;
+    /** Receive deadline of one /health probe. */
+    int health_timeout_ms = 1'000;
+    /** Consecutive failed probes before the shard is declared wedged. */
+    unsigned health_failure_limit = 2;
+    /** Restart backoff ladder (PR 4 shape: capped-exp + jitter). */
+    int restart_backoff_initial_ms = 100;
+    int restart_backoff_cap_ms = 5'000;
+    /** Crash-loop breaker: > restart_limit deaths in restart_window_s. */
+    unsigned restart_limit = 5;
+    int restart_window_s = 30;
+    /** Grace between SIGTERM fan-out and SIGKILL on drain. */
+    int drain_deadline_ms = 10'000;
+    /** Seed of the deterministic restart jitter. */
+    std::uint64_t jitter_seed = 0x5afedeadbeefULL;
+};
+
+/** Fleet-level accounting, merged into the aggregated /stats. */
+struct SupervisorCounters
+{
+    std::uint64_t restarts_total = 0;     ///< shards respawned
+    std::uint64_t heartbeat_timeouts = 0; ///< wedges caught by the pipe
+    std::uint64_t health_failures = 0;    ///< failed /health probes
+    std::uint64_t wedge_kills = 0;        ///< SIGKILLs of wedged shards
+    std::uint64_t chaos_kills = 0;        ///< kill_shard seam firings
+    std::uint64_t stats_errors = 0;       ///< shards that missed a /stats fan-out
+};
+
+/** One fleet: construct, start(), run(). Single-threaded by design. */
+class Supervisor
+{
+  public:
+    explicit Supervisor(SupervisorConfig config);
+    ~Supervisor();
+
+    Supervisor(const Supervisor &) = delete;
+    Supervisor &operator=(const Supervisor &) = delete;
+
+    /** Bind the control listeners and spawn every shard. */
+    util::Status start();
+
+    /**
+     * Supervise until SIGINT/SIGTERM (then drain the fleet and return
+     * ok) or until the crash-loop breaker trips (then tear down and
+     * return a CrashLoop status whose message is the JSON report).
+     */
+    util::Status run();
+
+    /** Fleet accounting so far (test/bench introspection). */
+    const SupervisorCounters &counters() const { return counters_; }
+
+  private:
+    enum class ShardState : std::uint8_t {
+        Running, ///< process alive as far as we know
+        Backoff, ///< dead; restart scheduled
+        Failed,  ///< crash-loop breaker tripped
+    };
+
+    struct Shard
+    {
+        unsigned index = 0;
+        pid_t pid = -1;
+        int heartbeat_fd = -1; ///< read end of the shard's pipe
+        ShardState state = ShardState::Backoff;
+        std::chrono::steady_clock::time_point started_at;
+        std::chrono::steady_clock::time_point last_heartbeat;
+        std::chrono::steady_clock::time_point restart_at;
+        std::chrono::steady_clock::time_point next_health_at;
+        unsigned health_failures = 0; ///< consecutive
+        unsigned backoff_level = 0;
+        std::uint64_t restarts = 0;
+        int last_exit_status = 0; ///< raw waitpid status
+        /** Death times inside the breaker window. */
+        std::deque<std::chrono::steady_clock::time_point> deaths;
+    };
+
+    util::Status spawn(Shard &shard);
+    void poll_once();
+    void drain_heartbeats();
+    void reap();
+    void on_death(Shard &shard, int wait_status);
+    void check_shards();
+    bool probe_health(Shard &shard);
+    void chaos_probe();
+    void restart_due();
+    void handle_control(const util::net::Socket &listener);
+    std::string control_reply(const std::string &payload);
+    std::string render_fleet_health() const;
+    std::string render_fleet_stats();
+    std::string render_crash_report(const Shard &shard) const;
+    util::Status drain_fleet();
+    void kill_everything();
+    Endpoint base_endpoint() const;
+
+    SupervisorConfig config_;
+    util::Rng jitter_;
+    std::vector<Shard> shards_;
+    util::net::Socket control_unix_;
+    util::net::Socket control_tcp_;
+    bool started_ = false;
+    bool tripped_ = false;
+    unsigned tripped_shard_ = 0;
+    unsigned chaos_cursor_ = 0;
+    std::chrono::steady_clock::time_point started_at_;
+    SupervisorCounters counters_;
+};
+
+} // namespace leakbound::serve
+
+#endif // LEAKBOUND_SERVE_SUPERVISOR_HPP

@@ -20,7 +20,7 @@
  *
  * where `site` is one of open_read, open_write, short_write, enospc,
  * rename_torn, lock, simulate, net_accept, net_read, net_write,
- * net_short_write; `rate` is a fault probability in
+ * net_short_write, kill_shard; `rate` is a fault probability in
  * [0, 1]; and the optional `@match` restricts the rule to probes whose
  * tag (usually a path or workload name) contains the substring.  The
  * seed comes from LEAKBOUND_FAULT_SEED (default 0x1eafb01d).
@@ -54,9 +54,10 @@ enum class Site : std::uint8_t {
     NetRead,    ///< a socket read fails as if the peer vanished
     NetWrite,   ///< a socket write fails mid-frame
     NetShortWrite, ///< a socket write is truncated (partial write)
+    KillShard,  ///< the shard supervisor SIGKILLs a random live shard
 };
 
-inline constexpr std::size_t kNumFaultSites = 11;
+inline constexpr std::size_t kNumFaultSites = 12;
 
 /** The spec-string name of @p site ("open_read", ...). */
 constexpr const char *
@@ -74,6 +75,7 @@ site_name(Site site)
       case Site::NetRead: return "net_read";
       case Site::NetWrite: return "net_write";
       case Site::NetShortWrite: return "net_short_write";
+      case Site::KillShard: return "kill_shard";
     }
     return "unknown";
 }

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include <arpa/inet.h>
@@ -377,6 +378,65 @@ recv_exact(const Socket &socket, std::size_t size, std::string &out)
         pfd.events = POLLIN;
         if (::poll(&pfd, 1, -1) < 0 && errno != EINTR)
             return errno_status("poll for readability failed");
+    }
+    return Status();
+}
+
+Status
+recv_exact_deadline(const Socket &socket, std::size_t size,
+                    std::string &out, int deadline_ms)
+{
+    using Clock = std::chrono::steady_clock;
+    out.clear();
+    out.reserve(size);
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(std::max(deadline_ms, 0));
+    char buf[1 << 16];
+    while (out.size() < size) {
+        const auto now = Clock::now();
+        if (now >= deadline) {
+            return Status(ErrorKind::IoError,
+                          "read deadline expired: got " +
+                              std::to_string(out.size()) + " of " +
+                              std::to_string(size) + " bytes");
+        }
+        const auto left = std::chrono::duration_cast<
+            std::chrono::milliseconds>(deadline - now).count();
+        const int ready =
+            wait_readable(socket, static_cast<int>(left) + 1);
+        if (ready < 0)
+            return errno_status("poll for readability failed");
+        if (ready == 0)
+            continue; // timeout or EINTR; the deadline check above exits
+        const std::size_t want =
+            std::min(size - out.size(), sizeof(buf));
+        auto got = read_some(socket, buf, want);
+        if (!got) {
+            if (got.status().kind() == ErrorKind::ConnectionClosed &&
+                !out.empty()) {
+                return Status(ErrorKind::CorruptData,
+                              "truncated read: got " +
+                                  std::to_string(out.size()) + " of " +
+                                  std::to_string(size) + " bytes");
+            }
+            return got.status();
+        }
+        const IoResult &result = got.value();
+        if (result.bytes > 0) {
+            out.append(buf, result.bytes);
+            continue;
+        }
+        if (result.closed) {
+            if (out.empty()) {
+                return Status(ErrorKind::ConnectionClosed,
+                              "peer closed the connection");
+            }
+            return Status(ErrorKind::CorruptData,
+                          "truncated read: got " +
+                              std::to_string(out.size()) + " of " +
+                              std::to_string(size) + " bytes");
+        }
+        // Spurious readability (another reader raced us): loop.
     }
     return Status();
 }

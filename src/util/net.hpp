@@ -275,6 +275,16 @@ Status send_all(const Socket &socket, const void *data, std::size_t size);
 Status recv_exact(const Socket &socket, std::size_t size,
                   std::string &out);
 
+/**
+ * recv_exact with a wall-clock bound: gives up with IoError once
+ * @p deadline_ms elapse without the full @p size bytes arriving.  The
+ * shard supervisor's health probes use this — a probe must never park
+ * forever behind a wedged shard, which is exactly what recv_exact's
+ * EAGAIN handling would do.
+ */
+Status recv_exact_deadline(const Socket &socket, std::size_t size,
+                           std::string &out, int deadline_ms);
+
 } // namespace leakbound::util::net
 
 #endif // LEAKBOUND_UTIL_NET_HPP

@@ -139,4 +139,101 @@ if [ -e "$SOCK" ]; then
     exit 1
 fi
 
+# ---- Fleet phase: 2-shard supervisor over the same cache ----------
+# Start a supervised fleet, route a run through it (warm — the shard
+# loads the result the single daemon just simulated, proving the
+# cache is shared), SIGKILL one shard, confirm the supervisor respawns
+# it and the fleet still answers byte-identically, then drain clean.
+FSOCK=$DIR/fleet.sock
+"$DAEMON" --socket "$FSOCK" --shards 2 --workers 1 \
+    --restart-backoff-ms 50 --restart-backoff-cap-ms 400 \
+    --health-interval-ms 200 \
+    --cache-dir "$DIR/cache" >"$DIR/fleet.log" 2>&1 &
+PID=$!
+
+up=0
+i=0
+while [ $i -lt 100 ]; do
+    if "$CLIENT" --socket "$FSOCK" --ping >/dev/null 2>&1; then
+        up=1
+        break
+    fi
+    if ! kill -0 "$PID" 2>/dev/null; then
+        break
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ $up -ne 1 ]; then
+    echo "serve_smoke: fleet never became ready" >&2
+    cat "$DIR/fleet.log" >&2
+    exit 1
+fi
+
+"$CLIENT" --socket "$FSOCK" --shards 2 --benchmarks gzip \
+    --instructions 50000 >"$DIR/fleet1.json"
+grep -q '"from_cache": true' "$DIR/fleet1.json" || {
+    echo "serve_smoke: fleet shard did not share the artifact cache" >&2
+    cat "$DIR/fleet1.json" >&2
+    exit 1
+}
+
+# SIGKILL one shard (the supervisor's children are the shards) and
+# wait for the respawn: two live shard children again, one of them new.
+SHARD=$(pgrep -P "$PID" | head -n 1)
+if [ -z "$SHARD" ]; then
+    echo "serve_smoke: could not find a shard child to kill" >&2
+    cat "$DIR/fleet.log" >&2
+    exit 1
+fi
+kill -9 "$SHARD"
+recovered=0
+i=0
+while [ $i -lt 100 ]; do
+    live=$(pgrep -P "$PID" | grep -cv "^$SHARD\$" || true)
+    if [ "$live" -ge 2 ]; then
+        recovered=1
+        break
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ $recovered -ne 1 ]; then
+    echo "serve_smoke: supervisor never respawned the killed shard" >&2
+    cat "$DIR/fleet.log" >&2
+    exit 1
+fi
+
+# The revived fleet answers the same request with the same bytes, and
+# the supervisor's aggregated stats admit to the restart.
+"$CLIENT" --socket "$FSOCK" --shards 2 --benchmarks gzip \
+    --instructions 50000 >"$DIR/fleet2.json"
+if ! cmp -s "$DIR/fleet1.json" "$DIR/fleet2.json"; then
+    echo "serve_smoke: fleet response changed across a shard" \
+         "restart" >&2
+    exit 1
+fi
+"$CLIENT" --socket "$FSOCK" --stats >"$DIR/fleet_stats.json"
+grep -q '"restarts_total": 1' "$DIR/fleet_stats.json" || {
+    echo "serve_smoke: fleet stats did not count the restart" >&2
+    cat "$DIR/fleet_stats.json" >&2
+    exit 1
+}
+
+# Graceful fleet drain: SIGTERM fans out, supervisor exits 0, control
+# socket gone.
+kill -TERM "$PID"
+status=0
+wait "$PID" || status=$?
+PID=
+if [ $status -ne 0 ]; then
+    echo "serve_smoke: fleet exited $status on SIGTERM" >&2
+    cat "$DIR/fleet.log" >&2
+    exit 1
+fi
+if [ -e "$FSOCK" ]; then
+    echo "serve_smoke: control socket left behind after fleet drain" >&2
+    exit 1
+fi
+
 echo "serve_smoke: ok"

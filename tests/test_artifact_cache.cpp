@@ -8,13 +8,20 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "core/artifact_cache.hpp"
 #include "core/experiment.hpp"
@@ -400,6 +407,63 @@ TEST(ArtifactCache, StaleLockIsBroken)
     EXPECT_FALSE(fs::exists(cache.entry_path(key) + ".lock"));
     EXPECT_GE(cache.health().lock_breaks, 1u);
     EXPECT_EQ(cache.health().lock_timeouts, 0u);
+    fs::remove_all(dir);
+}
+
+TEST(ArtifactCache, LockHeldBySigkilledProcessIsBrokenAndCounted)
+{
+    // The crash-hygiene case behind the shard fleet: a shard that
+    // acquired an entry lock and was then SIGKILLed leaves its `.lock`
+    // behind with no process to release it.  Survivors must break the
+    // stale lock (counted — CacheHealth::lock_breaks feeds the
+    // daemon's /stats `locks_broken`), simulate, publish, and release,
+    // with zero degradation.
+    const std::string dir = fresh_cache_dir("lb_cache_sigkill");
+    fs::create_directories(dir);
+    ArtifactCache::LockOptions options;
+    options.wait_timeout = std::chrono::milliseconds(10'000);
+    options.stale_age = std::chrono::milliseconds(100);
+    ArtifactCache cache(dir, options);
+    const std::uint64_t key = 11;
+    const std::string lock = cache.entry_path(key) + ".lock";
+
+    // The doomed writer takes the lock exactly as a real one would
+    // (O_CREAT | O_EXCL), then parks until killed.  Only
+    // async-signal-safe calls after fork().
+    std::fflush(stdout);
+    std::fflush(stderr);
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        const int fd =
+            ::open(lock.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+        if (fd < 0)
+            ::_exit(3);
+        for (;;)
+            ::pause();
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (!fs::exists(lock) &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    ASSERT_TRUE(fs::exists(lock)) << "lock holder never started";
+    ASSERT_EQ(::kill(pid, SIGKILL), 0);
+    ASSERT_EQ(::waitpid(pid, nullptr, 0), pid);
+
+    // Age the orphaned lock past stale_age, then miss into it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    const ExperimentResult result =
+        cache.load_or_run(key, "gzip", [] { return sample_result(); });
+    EXPECT_FALSE(result.from_cache);
+    EXPECT_EQ(serialize_result(result),
+              serialize_result(sample_result()));
+    EXPECT_TRUE(fs::exists(cache.entry_path(key)))
+        << "recovery must still publish the entry";
+    EXPECT_FALSE(fs::exists(lock));
+    EXPECT_GE(cache.health().lock_breaks, 1u);
+    EXPECT_EQ(cache.health().lock_timeouts, 0u);
+    EXPECT_FALSE(cache.degraded());
     fs::remove_all(dir);
 }
 

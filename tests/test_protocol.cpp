@@ -13,12 +13,18 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
+#include <csignal>
 #include <string>
 #include <thread>
 #include <utility>
 
+#include <unistd.h>
+
+#include "serve/client.hpp"
 #include "serve/protocol.hpp"
 #include "util/fault_injection.hpp"
+#include "util/interrupt.hpp"
 #include "util/json.hpp"
 #include "util/net.hpp"
 #include "util/stats.hpp"
@@ -247,7 +253,7 @@ TEST(ErrorFrames, RoundTripEveryErrorKind)
           ErrorKind::Interrupted, ErrorKind::InvalidArgument,
           ErrorKind::FaultInjected, ErrorKind::Internal,
           ErrorKind::Overloaded, ErrorKind::ShuttingDown,
-          ErrorKind::ConnectionClosed}) {
+          ErrorKind::ConnectionClosed, ErrorKind::CrashLoop}) {
         const std::string frame =
             render_error(util::Status(kind, "why it failed"));
         auto parsed = util::json_parse(frame);
@@ -261,6 +267,94 @@ TEST(ErrorFrames, RoundTripEveryErrorKind)
         EXPECT_EQ(doc.find("message")->string_value(), "why it failed");
     }
     EXPECT_FALSE(util::error_kind_from_name("no_such_kind").has_value());
+}
+
+// ----------------------------------------------------- sigpipe hygiene
+
+TEST(SigpipeHygiene, WritingToAHalfClosedSocketNeverKillsTheProcess)
+{
+    // The daemon and client both run install_signal_handlers(), which
+    // ignores SIGPIPE process-wide; util::net sends additionally pass
+    // MSG_NOSIGNAL.  Either layer alone suffices — this test proves
+    // the combination: a peer that hangs up mid-conversation surfaces
+    // as a typed ConnectionClosed (or a plain EPIPE for raw writes),
+    // never as a process-killing signal.
+    util::install_signal_handlers();
+    auto [client, server] = connected_pair();
+    server.close(); // peer vanishes
+
+    // Push until the kernel notices the close; a small socket buffer
+    // means a handful of sends at most.
+    const std::string chunk(64 * 1024, 'p');
+    util::Status last;
+    for (int i = 0; i < 64 && last.ok(); ++i)
+        last = net::send_all(client, chunk.data(), chunk.size());
+    EXPECT_EQ(last.kind(), util::ErrorKind::ConnectionClosed);
+
+    // A raw write bypassing MSG_NOSIGNAL relies on the SIG_IGN
+    // disposition alone.  Reaching the EXPECT below *is* the test.
+    errno = 0;
+    (void)!::write(client.fd(), chunk.data(), chunk.size());
+    EXPECT_TRUE(errno == EPIPE || errno == 0 || errno == ECONNRESET);
+}
+
+// ------------------------------------------------- truncated responses
+
+TEST(TruncatedResponse, FrameCutMidBodyIsTypedAndRetryableNeverParsed)
+{
+    // A shard SIGKILLed mid-reply leaves the client holding a header
+    // that promises more bytes than will ever arrive.  The client must
+    // surface a typed CorruptData — worth a failover — and never hand
+    // a partial JSON document to the parser.
+    auto [client, server] = connected_pair();
+    std::thread lying_server([&server = server] {
+        auto request = recv_frame(server);
+        ASSERT_TRUE(request.has_value());
+        // Header announces 1000 bytes; only 12 follow before close.
+        const unsigned char header[4] = {0xe8, 0x03, 0x00, 0x00};
+        ASSERT_TRUE(net::send_all(server, header, sizeof(header)).ok());
+        ASSERT_TRUE(net::send_all(server, "{\"status\":\"o", 12).ok());
+        server.close();
+    });
+    auto response = call(client, build_ping_request());
+    lying_server.join();
+    ASSERT_FALSE(response.has_value());
+    EXPECT_EQ(response.status().kind(), util::ErrorKind::CorruptData);
+    EXPECT_TRUE(failover_worthy(response.status()))
+        << "a truncated frame must reroute, not give up";
+}
+
+TEST(FailoverWorthy, ClassifiesShardFailuresVersusRequestVerdicts)
+{
+    using util::ErrorKind;
+    using util::Status;
+    // Shard-side failures reroute...
+    EXPECT_TRUE(failover_worthy(Status(ErrorKind::ConnectionClosed, "")));
+    EXPECT_TRUE(failover_worthy(Status(ErrorKind::IoError, "refused")));
+    EXPECT_TRUE(failover_worthy(Status(ErrorKind::CorruptData, "cut")));
+    EXPECT_TRUE(failover_worthy(Status(ErrorKind::ShuttingDown, "")));
+    // ...request verdicts and fleet-wide load do not.
+    EXPECT_FALSE(failover_worthy(Status(ErrorKind::InvalidArgument, "")));
+    EXPECT_FALSE(failover_worthy(Status(ErrorKind::Overloaded, "")));
+    EXPECT_FALSE(failover_worthy(Status(ErrorKind::Internal, "")));
+    EXPECT_FALSE(failover_worthy(util::Status()));
+}
+
+// --------------------------------------------------- deadline receives
+
+TEST(RecvFrameDeadline, ExpiresTypedInsteadOfParkingForever)
+{
+    auto [client, server] = connected_pair();
+    // Nothing ever sent: the deadline must fire.
+    auto got = recv_frame_deadline(server, kDefaultMaxFrameBytes, 50);
+    ASSERT_FALSE(got.has_value());
+    EXPECT_EQ(got.status().kind(), util::ErrorKind::IoError);
+
+    // A frame already on the wire arrives well inside the deadline.
+    ASSERT_TRUE(send_frame(client, "{\"type\":\"ping\"}").ok());
+    auto ok = recv_frame_deadline(server, kDefaultMaxFrameBytes, 1'000);
+    ASSERT_TRUE(ok.has_value()) << ok.status().to_string();
+    EXPECT_EQ(ok.value(), "{\"type\":\"ping\"}");
 }
 
 // ------------------------------------------------------ latency recorder

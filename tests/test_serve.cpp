@@ -16,10 +16,15 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <fcntl.h>
+#include <sys/stat.h>
 
 #include "core/artifact_cache.hpp"
 #include "core/experiment.hpp"
@@ -881,6 +886,238 @@ TEST_F(ServeFixture, ShedsDeadlinesEndToEnd)
     auto served = call_endpoint(endpoint, build_run_request(doomed));
     ASSERT_TRUE(served.has_value()) << served.status().to_string();
     EXPECT_EQ(server->stats().rejected_deadline, 1u);
+}
+
+TEST_F(ServeFixture, StatsSurfaceStaleLockBreaksAsLocksBroken)
+{
+    // Crash hygiene end to end: a shard SIGKILLed while holding a
+    // cache entry lock leaves a stale `.lock`; the next daemon to miss
+    // that entry breaks it, and the break must surface in /stats as
+    // `locks_broken` (and in the run response's cache_health).
+    namespace fs = std::filesystem;
+    const std::string dir = ::testing::TempDir() + "lb_serve_stale";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    // The daemon computes the entry key from the decoder-normalized
+    // config — reproduce it the same way.
+    const core::ExperimentRequest decoded = small_request();
+    const core::ArtifactCache probe(dir);
+    const std::string lock =
+        probe.entry_path(core::fingerprint_entry(
+            core::fingerprint_config(decoded.config), "gzip")) +
+        ".lock";
+    { std::ofstream out(lock); }
+    // Age it far past the 120 s stale threshold.
+    struct timespec stale[2];
+    ASSERT_EQ(::clock_gettime(CLOCK_REALTIME, &stale[0]), 0);
+    stale[0].tv_sec -= 600;
+    stale[1] = stale[0];
+    ASSERT_EQ(::utimensat(AT_FDCWD, lock.c_str(), stale, 0), 0);
+
+    ServerConfig config;
+    config.scheduler.cache_dir = dir;
+    start(config);
+
+    RunRequest request;
+    request.benchmarks = {"gzip"};
+    request.instructions = 20'000;
+    auto response = call_endpoint(endpoint, build_run_request(request));
+    ASSERT_TRUE(response.has_value()) << response.status().to_string();
+    const util::JsonValue *health = response.value().find("cache_health");
+    ASSERT_NE(health, nullptr);
+    EXPECT_EQ(health->find("lock_breaks")->u64_value(), 1u);
+
+    auto stats = call_endpoint(endpoint, build_stats_request());
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_EQ(stats.value().find("locks_broken")->u64_value(), 1u);
+    EXPECT_EQ(server->stats().locks_broken, 1u);
+    EXPECT_FALSE(fs::exists(lock));
+    fs::remove_all(dir);
+}
+
+// ------------------------------------------------------------ fleet mode
+
+namespace {
+
+/** Two Servers on ephemeral loopback ports, each with a serve thread —
+ *  the in-process stand-in for a two-shard fleet (no fork: this file
+ *  runs under TSan). */
+class FleetFixture : public ::testing::Test
+{
+  protected:
+    void
+    start_shards(ServerConfig config = {})
+    {
+        for (int i = 0; i < 2; ++i) {
+            config.unix_path.clear();
+            config.listen_tcp = true;
+            config.tcp_port = 0;
+            config.scheduler.workers = 2;
+            config.shard_index = i;
+            shards[i] = std::make_unique<Server>(config);
+            ASSERT_TRUE(shards[i]->start().ok());
+            Endpoint endpoint;
+            endpoint.tcp_port = shards[i]->tcp_port();
+            fleet.push_back(endpoint);
+            threads[i] = std::thread([server = shards[i].get()] {
+                util::Status served = server->serve();
+                EXPECT_TRUE(served.ok()) << served.to_string();
+            });
+        }
+    }
+
+    void
+    stop_shard(unsigned index)
+    {
+        shards[index]->request_drain();
+        threads[index].join();
+    }
+
+    void
+    TearDown() override
+    {
+        for (int i = 0; i < 2; ++i) {
+            if (shards[i] && threads[i].joinable()) {
+                shards[i]->request_drain();
+                threads[i].join();
+            }
+        }
+    }
+
+    std::unique_ptr<Server> shards[2];
+    std::thread threads[2];
+    std::vector<Endpoint> fleet;
+};
+
+} // namespace
+
+TEST_F(FleetFixture, CallFleetRoutesToTheFingerprintHomeShard)
+{
+    start_shards();
+
+    RunRequest request;
+    request.benchmarks = {"gzip"};
+    request.instructions = 20'000;
+    auto fingerprint = fingerprint_run_request(request);
+    ASSERT_TRUE(fingerprint.has_value())
+        << fingerprint.status().to_string();
+    const unsigned home = core::route_shard(fingerprint.value(), 2);
+
+    std::uint64_t failovers = 0;
+    auto response = call_fleet(fleet, request, FailoverPolicy{},
+                               kDefaultMaxFrameBytes, nullptr,
+                               &failovers);
+    ASSERT_TRUE(response.has_value()) << response.status().to_string();
+    EXPECT_EQ(failovers, 0u);
+    // Exactly the home shard served it; the other stayed idle.
+    EXPECT_EQ(shards[home]->stats().requests_served, 1u);
+    EXPECT_EQ(shards[1 - home]->stats().requests_served, 0u);
+    // And the client-side fingerprint is the server's dedup key.
+    EXPECT_EQ(response.value().find("request_fingerprint")->string_value(),
+              util::hex64(fingerprint.value()));
+}
+
+TEST_F(FleetFixture, CallFleetFailsOverWhenTheHomeShardIsDown)
+{
+    start_shards();
+
+    RunRequest request;
+    request.benchmarks = {"gzip"};
+    request.instructions = 20'000;
+    auto fingerprint = fingerprint_run_request(request);
+    ASSERT_TRUE(fingerprint.has_value());
+    const unsigned home = core::route_shard(fingerprint.value(), 2);
+
+    // The home shard dies (drained and gone: connects are refused).
+    stop_shard(home);
+
+    std::uint64_t failovers = 0;
+    std::string raw;
+    auto response = call_fleet(fleet, request, FailoverPolicy{},
+                               kDefaultMaxFrameBytes, &raw, &failovers);
+    ASSERT_TRUE(response.has_value())
+        << "failover must reach the surviving shard: "
+        << response.status().to_string();
+    EXPECT_GE(failovers, 1u);
+    EXPECT_EQ(shards[1 - home]->stats().requests_served, 1u);
+
+    // Non-failover-worthy verdicts still return immediately: an
+    // invalid request is the request's fault, not the shard's.
+    RunRequest broken = request;
+    broken.instructions = 10; // below the decoder floor
+    auto verdict = call_fleet(fleet, broken);
+    ASSERT_FALSE(verdict.has_value());
+    EXPECT_EQ(verdict.status().kind(),
+              util::ErrorKind::InvalidArgument);
+}
+
+TEST_F(FleetFixture, FleetLoadReportsFullOkUnderSingleShardLoss)
+{
+    start_shards();
+
+    RunRequest request;
+    request.benchmarks = {"gzip"};
+    request.instructions = 20'000;
+    auto fingerprint = fingerprint_run_request(request);
+    ASSERT_TRUE(fingerprint.has_value());
+    const unsigned home = core::route_shard(fingerprint.value(), 2);
+
+    // Warm both shards first so the failover target answers from its
+    // own cache/LRU quickly.
+    for (const Endpoint &endpoint : fleet) {
+        auto warm = call_endpoint(endpoint, build_run_request(request));
+        ASSERT_TRUE(warm.has_value()) << warm.status().to_string();
+    }
+
+    stop_shard(home);
+
+    LoadOptions options;
+    options.total = 16;
+    options.concurrency = 4;
+    options.fleet = fleet;
+    const LoadReport report = run_load(fleet[home], request, options);
+    EXPECT_EQ(report.sent, 16u);
+    EXPECT_EQ(report.ok, 16u)
+        << "every request must fail over to the live shard";
+    EXPECT_GE(report.failovers, 16u);
+    EXPECT_EQ(report.distinct_responses, 1u)
+        << "failover responses are not byte-identical";
+
+    // Pipelined persistent fleet mode survives the same loss.
+    LoadOptions pipelined = options;
+    pipelined.persistent = true;
+    pipelined.pipeline = 4;
+    const LoadReport report2 = run_load(fleet[home], request, pipelined);
+    EXPECT_EQ(report2.sent, 16u);
+    EXPECT_EQ(report2.ok, 16u);
+    EXPECT_GE(report2.failovers, 1u);
+}
+
+TEST(ShardEndpoints, DeriveUnixAndTcpNamesByConvention)
+{
+    Endpoint base;
+    base.unix_path = "/tmp/leak.sock";
+    EXPECT_EQ(shard_endpoint(base, 0).unix_path, "/tmp/leak.sock.0");
+    EXPECT_EQ(shard_endpoint(base, 3).unix_path, "/tmp/leak.sock.3");
+
+    Endpoint tcp;
+    tcp.tcp_port = 9000;
+    EXPECT_EQ(shard_endpoint(tcp, 0).tcp_port, 9001);
+    EXPECT_EQ(shard_endpoint(tcp, 3).tcp_port, 9004);
+
+    const std::vector<Endpoint> fleet = fleet_endpoints(tcp, 4);
+    ASSERT_EQ(fleet.size(), 4u);
+    EXPECT_EQ(fleet[3].tcp_port, 9004);
+
+    // Routing is stable and in range for any shard count.
+    for (unsigned n : {1u, 2u, 3u, 8u}) {
+        for (std::uint64_t fp : {0ull, 1ull, 0xdeadbeefull}) {
+            const unsigned shard = core::route_shard(fp, n);
+            EXPECT_LT(shard, n);
+            EXPECT_EQ(shard, core::route_shard(fp, n));
+        }
+    }
 }
 
 TEST_F(ServeFixture, PipelinedRequestsAnswerInOrderOnOneConnection)

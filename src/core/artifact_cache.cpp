@@ -139,6 +139,14 @@ fingerprint_config(const ExperimentConfig &config)
     // fast-path bug can never poison the simulated cache population.
     fp.mix_u64(static_cast<std::uint64_t>(config.engine));
     fp.mix_u64(kAnalyticEngineVersion);
+    // Multicore shape: the length prefix keeps an empty mix from
+    // aliasing a homogeneous explicit one, and the names keep mixes
+    // apart by content *and* order (core i's stream depends on its
+    // slot).
+    fp.mix_u64(config.core_count);
+    fp.mix_u64(config.workload_mix.size());
+    for (const std::string &name : config.workload_mix)
+        fp.mix_string(name);
     return fp.digest();
 }
 
@@ -317,6 +325,10 @@ ArtifactCache::try_load(std::uint64_t key) const
     auto result = deserialize_result(payload);
     if (!result)
         return reject();
+    // No simulation ran for a loaded result, so no decision-logic lane
+    // did either; stamping it here covers every load site (fresh hit,
+    // waited-on-writer, post-acquire re-probe).
+    result->sim_path_effective = "cache";
     return result;
 }
 

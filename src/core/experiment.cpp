@@ -13,9 +13,11 @@
 
 #include "analytic/engine.hpp"
 #include "core/artifact_cache.hpp"
+#include "core/collecting_listener.hpp"
 #include "core/inflection.hpp"
 #include "core/policies.hpp"
 #include "interval/collector.hpp"
+#include "multicore/multicore.hpp"
 #include "prefetch/next_line.hpp"
 #include "util/fault_injection.hpp"
 #include "util/interrupt.hpp"
@@ -27,91 +29,8 @@ namespace leakbound::core {
 
 namespace {
 
-/**
- * Drives the interval collectors and prefetch bookkeeping from the
- * core's access callbacks (see DESIGN.md §5 for the flag semantics).
- */
-class CollectingListener final : public cpu::AccessListener
-{
-  public:
-    CollectingListener(const sim::HierarchyConfig &config,
-                       interval::IntervalCollector *icollector,
-                       interval::IntervalCollector *dcollector,
-                       prefetch::StridePredictor *stride,
-                       Cycles nl_lead_time)
-        : iline_shift_(config.l1i.line_shift()),
-          dline_shift_(config.l1d.line_shift()),
-          dline_(config.l1d.line_bytes), icollector_(icollector),
-          dcollector_(dcollector), stride_(stride), nl_lead_(nl_lead_time)
-    {
-    }
-
-    void
-    on_instr_access(Cycle cycle, Pc pc,
-                    const sim::HierarchyResult &result) override
-    {
-        const Addr block = pc >> iline_shift_;
-        bool nl = false;
-        Cycle since;
-        if (icollector_->open_since(result.l1.frame, since))
-            nl = imonitor_.covers(block, since, cycle, nl_lead_);
-        icollector_->on_access(result.l1.frame, cycle, result.l1.hit,
-                               /*stride_predicted=*/false, nl);
-        imonitor_.record(block, cycle);
-        on_l2(cycle, result);
-    }
-
-    void
-    on_data_access(Cycle cycle, Pc pc, Addr addr, bool /*is_store*/,
-                   const sim::HierarchyResult &result) override
-    {
-        const Addr block = addr >> dline_shift_;
-        const bool stride_hit = stride_->access(pc, addr, dline_);
-        bool nl = false;
-        Cycle since;
-        if (dcollector_->open_since(result.l1.frame, since))
-            nl = dmonitor_.covers(block, since, cycle, nl_lead_);
-        dcollector_->on_access(result.l1.frame, cycle, result.l1.hit,
-                               stride_hit, nl);
-        dmonitor_.record(block, cycle);
-        on_l2(cycle, result);
-    }
-
-    /** Optional L2 observer (extension; no prefetch classification). */
-    void
-    set_l2_collector(interval::IntervalCollector *collector)
-    {
-        l2collector_ = collector;
-    }
-
-    /** The L1I next-line monitor (analytic fast-path state capture). */
-    prefetch::NextLineMonitor &imonitor() { return imonitor_; }
-
-    /** The L1D next-line monitor (analytic fast-path state capture). */
-    prefetch::NextLineMonitor &dmonitor() { return dmonitor_; }
-
-  private:
-    void
-    on_l2(Cycle cycle, const sim::HierarchyResult &result)
-    {
-        if (!l2collector_ || result.l1.hit)
-            return; // the L2 is only touched on L1 misses
-        l2collector_->on_access(result.l2.frame, cycle, result.l2.hit,
-                                /*stride_predicted=*/false,
-                                /*nl_covered=*/false);
-    }
-
-    std::uint32_t iline_shift_;
-    std::uint32_t dline_shift_;
-    std::uint32_t dline_; ///< line size the stride predictor keys on
-    interval::IntervalCollector *icollector_;
-    interval::IntervalCollector *dcollector_;
-    interval::IntervalCollector *l2collector_ = nullptr;
-    prefetch::StridePredictor *stride_;
-    Cycles nl_lead_;
-    prefetch::NextLineMonitor imonitor_;
-    prefetch::NextLineMonitor dmonitor_;
-};
+// CollectingListener itself lives in core/collecting_listener.hpp now,
+// shared verbatim with the multicore engine.
 
 /**
  * The devirtualized twin of CollectingListener for the kernel run
@@ -308,6 +227,47 @@ parse_engine(const std::string &name)
     return std::nullopt;
 }
 
+const char *
+sim_path_effective_name(std::size_t kernel_caches, std::size_t num_caches)
+{
+    if (kernel_caches == num_caches)
+        return "kernel";
+    if (kernel_caches == 0)
+        return "reference";
+    return "mixed";
+}
+
+util::Status
+ExperimentConfig::validate() const
+{
+    if (util::Status s = core.validate(); !s.ok())
+        return s;
+    if (core_count == 0) {
+        return util::Status(util::ErrorKind::InvalidArgument,
+                            "core_count must be at least 1");
+    }
+    if (core_count > kMaxCoreCount) {
+        return util::Status(util::ErrorKind::InvalidArgument,
+                            "core_count " + std::to_string(core_count) +
+                                " exceeds the maximum of " +
+                                std::to_string(kMaxCoreCount));
+    }
+    if (!workload_mix.empty() && workload_mix.size() != core_count) {
+        return util::Status(
+            util::ErrorKind::InvalidArgument,
+            "workload_mix has " + std::to_string(workload_mix.size()) +
+                " entries but core_count is " + std::to_string(core_count));
+    }
+    for (const std::string &name : workload_mix) {
+        if (!workload::is_benchmark(name)) {
+            return util::Status(util::ErrorKind::InvalidArgument,
+                                "workload_mix names unknown benchmark '" +
+                                    name + "'");
+        }
+    }
+    return util::Status();
+}
+
 namespace {
 
 /**
@@ -354,6 +314,11 @@ run_one_kernel(workload::Workload &workload, const ExperimentConfig &config)
     result.icache.stats = hierarchy.l1i().stats();
     result.dcache.stats = hierarchy.l1d().stats();
     result.l2 = hierarchy.l2().stats();
+    result.sim_path_effective = sim_path_effective_name(
+        static_cast<std::size_t>(hierarchy.l1i().kernel_active()) +
+            static_cast<std::size_t>(hierarchy.l1d().kernel_active()) +
+            static_cast<std::size_t>(hierarchy.l2().kernel_active()),
+        3);
     result.wall_seconds = std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - wall_start)
                               .count();
@@ -467,6 +432,11 @@ run_one(workload::Workload &workload, const ExperimentConfig &config,
     result.icache.stats = hierarchy.l1i().stats();
     result.dcache.stats = hierarchy.l1d().stats();
     result.l2 = hierarchy.l2().stats();
+    result.sim_path_effective = sim_path_effective_name(
+        static_cast<std::size_t>(hierarchy.l1i().kernel_active()) +
+            static_cast<std::size_t>(hierarchy.l1d().kernel_active()) +
+            static_cast<std::size_t>(hierarchy.l2().kernel_active()),
+        3);
     if (fastpath) {
         fastpath->add_skipped(result.icache.stats, result.dcache.stats,
                               result.l2);
@@ -489,6 +459,14 @@ run_one(workload::Workload &workload, const ExperimentConfig &config,
 ExperimentResult
 run_experiment(workload::Workload &workload, const ExperimentConfig &config)
 {
+    // Multicore configurations take the interleaved shared-L2 engine;
+    // its N=1 output is byte-identical to the single-core path below
+    // (test_multicore_equivalence), so the dispatch is purely a matter
+    // of which knobs were set.
+    if (config.core_count != 1 || !config.workload_mix.empty()) {
+        return multicore::run_multicore_summary(workload.name(), config);
+    }
+
     const bool use_analytic =
         config.engine != Engine::Sim &&
         analytic::is_analyzable(workload, config.hierarchy,

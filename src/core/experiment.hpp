@@ -42,6 +42,13 @@ const char *engine_name(Engine engine);
 /** Parse an engine name; nullopt on anything unrecognized. */
 std::optional<Engine> parse_engine(const std::string &name);
 
+/**
+ * Widest multicore configuration accepted anywhere (config validation,
+ * request decode): one core per bit of the sharer bitmask the
+ * invalidation directory packs into a 64-bit word.
+ */
+inline constexpr std::uint32_t kMaxCoreCount = 64;
+
 /** Knobs of one simulation run. */
 struct ExperimentConfig
 {
@@ -118,6 +125,31 @@ struct ExperimentConfig
      * never changes what a completed simulation produces.
      */
     sim::SimMode sim_path = sim::SimMode::Kernel;
+    /**
+     * Number of in-order cores sharing the L2 (src/multicore).  1 runs
+     * the classic single-core engine; anything else (or a non-empty
+     * workload_mix) routes through the multicore interleaver, whose
+     * N=1 output is byte-identical to the single-core engine anyway.
+     */
+    std::uint32_t core_count = 1;
+    /**
+     * Per-core benchmark names for heterogeneous multicore mixes.
+     * Empty means homogeneous: every core runs the requested
+     * benchmark.  Non-empty requires size() == core_count, and then
+     * core i runs workload_mix[i] regardless of the requested name.
+     */
+    std::vector<std::string> workload_mix;
+
+    /**
+     * Cross-field validation of the multicore knobs (core_count,
+     * workload_mix) plus the nested core config.  Typed errors, never
+     * fatal(): InvalidArgument on core_count = 0 / > kMaxCoreCount, a
+     * mix whose length differs from core_count, or a mix naming an
+     * unknown benchmark.  Geometry (hierarchy) keeps its historical
+     * fatal() validation — those are programmer errors, not request
+     * input.
+     */
+    util::Status validate() const;
 };
 
 /** What one cache yielded. */
@@ -163,6 +195,17 @@ struct ExperimentResult
      * Engine::Analytic.
      */
     bool analytic = false;
+    /**
+     * Which cache decision-logic lane the simulation actually ran
+     * (reporting only, excluded from serialize_result like from_cache):
+     * "kernel" when every cache took the devirtualized kernel,
+     * "reference" when none did, "mixed" when they disagreed (the
+     * common multicore shape: 8-way L1s kernelized over a 16-way L2
+     * that silently fell back to reference logic), and "cache" for a
+     * result loaded from the artifact cache (no simulation ran at
+     * all).  Empty only for pre-existing serialized results.
+     */
+    std::string sim_path_effective;
 
     ExperimentResult(CacheObservation ic, CacheObservation dc)
         : icache(std::move(ic)), dcache(std::move(dc))
@@ -179,6 +222,14 @@ struct ExperimentResult
  * process); copy it only when you need to mutate.
  */
 const std::vector<Cycles> &standard_extra_edges();
+
+/**
+ * Canonical ExperimentResult::sim_path_effective value for a run where
+ * @p kernel_caches of @p num_caches cache instances had the kernel
+ * decision logic active: "kernel", "reference", or "mixed".
+ */
+const char *sim_path_effective_name(std::size_t kernel_caches,
+                                    std::size_t num_caches);
 
 /** Run @p workload under @p config and collect both caches. */
 ExperimentResult run_experiment(workload::Workload &workload,

@@ -125,6 +125,36 @@ decode_experiment_request(const util::JsonValue &body,
             request.config.engine = *engine;
             continue;
         }
+        if (key == "core_count") {
+            if (!value.is_u64())
+                return bad_request("'core_count' must be a "
+                                   "non-negative integer");
+            const std::uint64_t n = value.u64_value();
+            if (n < 1 || n > kMaxCoreCount) {
+                return bad_request("'core_count' out of range [1, " +
+                                   std::to_string(kMaxCoreCount) +
+                                   "]: " + std::to_string(n));
+            }
+            request.config.core_count = static_cast<std::uint32_t>(n);
+            continue;
+        }
+        if (key == "workload_mix") {
+            if (!value.is_array() || value.array().empty())
+                return bad_request(
+                    "'workload_mix' must be a non-empty array");
+            for (const JsonValue &name : value.array()) {
+                if (!name.is_string())
+                    return bad_request("'workload_mix' entries must be "
+                                       "strings");
+                if (!workload::is_benchmark(name.string_value()))
+                    return bad_request("unknown benchmark in "
+                                       "'workload_mix': '" +
+                                       name.string_value() + "'");
+                request.config.workload_mix.push_back(
+                    name.string_value());
+            }
+            continue;
+        }
         if (key == "deadline_ms") {
             if (!value.is_u64())
                 return bad_request("'deadline_ms' must be a "
@@ -142,6 +172,21 @@ decode_experiment_request(const util::JsonValue &body,
 
     if (!saw_benchmarks)
         return bad_request("request is missing 'benchmarks'");
+
+    // Cross-field multicore checks (mix length vs core_count), typed
+    // just like the per-key ones above.
+    if (util::Status multi = request.config.validate(); !multi.ok())
+        return bad_request(multi.message());
+    // The instruction budget is per core; keep a multicore request's
+    // total simulated work under the same admission ceiling a
+    // single-core request gets.
+    if (request.config.core_count > 1 &&
+        request.config.instructions >
+            max_instructions / request.config.core_count) {
+        return bad_request(
+            "'instructions' x 'core_count' exceeds the per-request "
+            "budget of " + std::to_string(max_instructions));
+    }
 
     if (standard_edges) {
         // Union in every stock policy threshold, exactly like the

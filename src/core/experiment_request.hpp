@@ -72,7 +72,12 @@ struct ExperimentRequest
  * "extra_edges" (u64 array), "payload" (bool), "engine" ("auto" |
  * "analytic" | "sim"; results are byte-identical for every choice but
  * the engine is part of the dedup/cache key), "deadline_ms" (u64, 0 =
- * none; admission metadata, never part of the dedup key).  Anything
+ * none; admission metadata, never part of the dedup key),
+ * "core_count" (u64, 1..core::kMaxCoreCount; cores sharing the L2 —
+ * values above 1 select the multicore engine and scale the
+ * per-request budget check to instructions x core_count), and
+ * "workload_mix" (non-empty string array of valid suite names whose
+ * length must equal core_count; per-core benchmarks).  Anything
  * else —
  * unknown keys, wrong types, out-of-range values, server-owned knobs
  * like "jobs"/"cache_dir"/"keep_raw" — is an InvalidArgument.

@@ -1,0 +1,511 @@
+/**
+ * @file
+ * Implementation of the multicore shared-L2 engine.
+ */
+
+#include "multicore/multicore.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "core/collecting_listener.hpp"
+#include "interval/collector.hpp"
+#include "prefetch/stride.hpp"
+#include "sim/hierarchy.hpp"
+#include "util/logging.hpp"
+#include "util/status.hpp"
+#include "workload/spec_suite.hpp"
+
+namespace leakbound::multicore {
+
+namespace {
+
+/** Seed of the shared L2 (the historical single-core L2 seed). */
+constexpr std::uint64_t kSharedL2Seed = 17;
+
+/**
+ * L2 banks the interval collection is sharded over.  Power of two,
+ * capped by the set count; set index bits select the bank (the usual
+ * low-order interleaving).  Purely an observation-side partition: the
+ * cache itself is one instance, and the merged histogram is
+ * byte-identical to a single collector over the whole frame space.
+ */
+std::uint64_t
+l2_bank_count(const sim::CacheConfig &config)
+{
+    return std::min<std::uint64_t>(8, config.num_sets());
+}
+
+void
+add_cache_stats(sim::CacheStats &into, const sim::CacheStats &from)
+{
+    into.accesses += from.accesses;
+    into.hits += from.hits;
+    into.misses += from.misses;
+    into.evictions += from.evictions;
+}
+
+class Engine;
+
+/**
+ * Per-core access listener: feeds the core's own collectors through
+ * the shared CollectingListener (same classification code as the
+ * single-core engine), then routes the access to the engine for the
+ * shared-L2 collectors and the invalidation directory.
+ */
+class NodeListener final : public cpu::AccessListener
+{
+  public:
+    NodeListener(Engine *engine, std::uint32_t core_id,
+                 const sim::HierarchyConfig &config,
+                 interval::IntervalCollector *icollector,
+                 interval::IntervalCollector *dcollector,
+                 prefetch::StridePredictor *stride, Cycles nl_lead_time)
+        : engine_(engine), core_id_(core_id),
+          inner_(config, icollector, dcollector, stride, nl_lead_time)
+    {
+        // The inner listener never gets an L2 collector: the shared
+        // L2's population is owned by the engine's per-bank collectors
+        // (a per-core collector could not see other cores' touches).
+    }
+
+    void on_instr_access(Cycle cycle, Pc pc,
+                         const sim::HierarchyResult &result) override;
+    void on_data_access(Cycle cycle, Pc pc, Addr addr, bool is_store,
+                        const sim::HierarchyResult &result) override;
+
+  private:
+    Engine *engine_;
+    std::uint32_t core_id_;
+    core::CollectingListener inner_;
+};
+
+/** The interleaver, the directory, and all per-core machinery. */
+class Engine
+{
+  public:
+    Engine(std::vector<std::string> names,
+           const core::ExperimentConfig &config)
+        : l2_(config.hierarchy.l2, kSharedL2Seed, config.sim_path),
+          l1d_line_shift_(config.hierarchy.l1d.line_shift()),
+          l2_line_shift_(config.hierarchy.l2.line_shift()),
+          l2_ways_(config.hierarchy.l2.associativity),
+          banks_(l2_bank_count(config.hierarchy.l2)),
+          bank_mask_(banks_ - 1),
+          bank_shift_(static_cast<std::uint32_t>(
+              std::countr_zero(banks_)))
+    {
+        const auto edges = interval::IntervalHistogramSet::default_edges(
+            config.extra_edges);
+
+        if (config.collect_l2) {
+            const std::uint64_t frames_per_bank =
+                config.hierarchy.l2.num_frames() / banks_;
+            bank_sinks_.reserve(banks_);
+            bank_collectors_.reserve(banks_);
+            for (std::uint64_t b = 0; b < banks_; ++b) {
+                bank_sinks_.emplace_back(edges);
+                bank_collectors_.push_back(
+                    std::make_unique<interval::IntervalCollector>(
+                        frames_per_bank, &bank_sinks_.back()));
+            }
+        }
+
+        nodes_.reserve(names.size());
+        for (std::uint32_t i = 0;
+             i < static_cast<std::uint32_t>(names.size()); ++i) {
+            auto node = std::make_unique<Node>();
+            node->workload_name = names[i];
+            node->isink.emplace(edges);
+            node->dsink.emplace(edges);
+            node->hierarchy = std::make_unique<sim::Hierarchy>(
+                config.hierarchy, &l2_, i, config.sim_path);
+            node->icollector =
+                std::make_unique<interval::IntervalCollector>(
+                    node->hierarchy->l1i().num_frames(), &*node->isink);
+            node->dcollector =
+                std::make_unique<interval::IntervalCollector>(
+                    node->hierarchy->l1d().num_frames(), &*node->dsink);
+            node->stride =
+                std::make_unique<prefetch::StridePredictor>(config.stride);
+            node->listener = std::make_unique<NodeListener>(
+                this, i, config.hierarchy, node->icollector.get(),
+                node->dcollector.get(), node->stride.get(),
+                config.nl_lead_time);
+            node->workload = workload::make_benchmark(names[i]);
+            node->core = std::make_unique<cpu::InOrderCore>(
+                config.core, node->hierarchy.get(), node->workload.get(),
+                node->listener.get());
+            node->remaining = config.instructions;
+            node->running = node->remaining != 0;
+            nodes_.push_back(std::move(node));
+        }
+    }
+
+    MulticoreResult run();
+
+    /**
+     * Shared-L2 observation hook: every L1 miss of every core touched
+     * the L2, closing the touched frame's open interval in its bank.
+     */
+    void
+    on_l2(Cycle cycle, const sim::HierarchyResult &result)
+    {
+        if (bank_collectors_.empty() || result.l1.hit)
+            return; // the L2 is only touched on L1 misses
+        observe_l2_frame(result.l2.frame, cycle, result.l2.hit);
+    }
+
+    /**
+     * Invalidation directory: maintain the per-block sharer bitmask
+     * from this L1D access, and on a store kill every other core's
+     * copy — closing their open L1D intervals, and the shared line's
+     * L2 interval when the store itself never reached the L2.
+     */
+    void
+    on_data(std::uint32_t core_id, Cycle cycle, Addr addr, bool is_store,
+            const sim::AccessResult &l1)
+    {
+        const Addr block = addr >> l1d_line_shift_;
+        const std::uint64_t bit = std::uint64_t{1} << core_id;
+
+        if (!l1.hit && l1.evicted) {
+            // The victim left core_id's L1D without a coherence event;
+            // the directory tracks residency exactly, so its bit must
+            // be on.
+            auto victim = sharers_.find(l1.victim_block);
+            LEAKBOUND_ASSERT(victim != sharers_.end() &&
+                                 (victim->second & bit) != 0,
+                             "directory lost track of an evicted block");
+            victim->second &= ~bit;
+            if (victim->second == 0)
+                sharers_.erase(victim);
+        }
+
+        std::uint64_t &mask = sharers_[block];
+        mask |= bit;
+        if (!is_store)
+            return;
+
+        std::uint64_t others = mask & ~bit;
+        if (others == 0)
+            return; // exclusive already; no coherence traffic
+
+        ++invalidating_stores_;
+        while (others != 0) {
+            const std::uint32_t j = static_cast<std::uint32_t>(
+                std::countr_zero(others));
+            others &= others - 1;
+            const FrameId frame =
+                nodes_[j]->hierarchy->l1d().invalidate_block(block);
+            LEAKBOUND_ASSERT(frame != kInvalidFrame,
+                             "directory named a non-resident sharer");
+            // The kill closes the victim frame's open interval — the
+            // line must leave low-leakage state to be snooped/dropped —
+            // with no reuse (the resident block is destroyed, not
+            // served) and no prefetch class.
+            nodes_[j]->dcollector->on_access(frame, cycle,
+                                             /*reuse=*/false,
+                                             /*stride_predicted=*/false,
+                                             /*nl_covered=*/false);
+            ++nodes_[j]->invalidations_received;
+            ++invalidations_;
+        }
+        mask = bit; // the writer is now the sole sharer
+
+        // A store that *missed* its L1D already touched the L2 through
+        // the access itself (on_l2 above); only an L1-hit store reaches
+        // the shared line purely through the coherence fabric.  The L2
+        // may no longer hold the line (no back-invalidation, so the
+        // hierarchy is not inclusive) — then there is no interval to
+        // close.
+        if (l1.hit && !bank_collectors_.empty()) {
+            const Addr l2block =
+                (block << l1d_line_shift_) >> l2_line_shift_;
+            const FrameId frame = l2_.frame_of_block(l2block);
+            if (frame != kInvalidFrame) {
+                // The line stays resident in the L2 (the directory
+                // kill is about L1 copies), so this close is a reuse.
+                observe_l2_frame(frame, cycle, /*reuse=*/true);
+                ++l2_interval_closes_;
+            }
+        }
+    }
+
+  private:
+    struct Node
+    {
+        std::string workload_name;
+        std::optional<interval::IntervalHistogramSet> isink;
+        std::optional<interval::IntervalHistogramSet> dsink;
+        std::unique_ptr<sim::Hierarchy> hierarchy;
+        std::unique_ptr<interval::IntervalCollector> icollector;
+        std::unique_ptr<interval::IntervalCollector> dcollector;
+        std::unique_ptr<prefetch::StridePredictor> stride;
+        std::unique_ptr<NodeListener> listener;
+        workload::WorkloadPtr workload;
+        std::unique_ptr<cpu::InOrderCore> core;
+        std::uint64_t remaining = 0;
+        bool running = false;
+        cpu::CoreRunStats stats; ///< accumulated deltas; cycles at end
+        std::uint64_t invalidations_received = 0;
+    };
+
+    /** Route a shared-L2 frame event into its bank's collector. */
+    void
+    observe_l2_frame(FrameId frame, Cycle cycle, bool reuse)
+    {
+        const std::uint64_t set = frame / l2_ways_;
+        const std::uint64_t way = frame % l2_ways_;
+        const std::uint64_t bank = set & bank_mask_;
+        const FrameId local = static_cast<FrameId>(
+            (set >> bank_shift_) * l2_ways_ + way);
+        bank_collectors_[bank]->on_access(local, cycle, reuse,
+                                          /*stride_predicted=*/false,
+                                          /*nl_covered=*/false);
+    }
+
+    sim::Cache l2_;
+    std::uint32_t l1d_line_shift_;
+    std::uint32_t l2_line_shift_;
+    std::uint64_t l2_ways_;
+    std::uint64_t banks_;
+    std::uint64_t bank_mask_;
+    std::uint32_t bank_shift_;
+    std::vector<interval::IntervalHistogramSet> bank_sinks_;
+    std::vector<std::unique_ptr<interval::IntervalCollector>>
+        bank_collectors_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    /**
+     * The sparse directory: L1D block number -> bitmask of cores whose
+     * L1D holds the block.  Maintained exactly from each access result
+     * (fill sets the bit, eviction and invalidation clear it), so a
+     * lookup never over- or under-reports sharers.
+     */
+    std::unordered_map<Addr, std::uint64_t> sharers_;
+    std::uint64_t invalidations_ = 0;
+    std::uint64_t invalidating_stores_ = 0;
+    std::uint64_t l2_interval_closes_ = 0;
+};
+
+void
+NodeListener::on_instr_access(Cycle cycle, Pc pc,
+                              const sim::HierarchyResult &result)
+{
+    inner_.on_instr_access(cycle, pc, result);
+    engine_->on_l2(cycle, result);
+}
+
+void
+NodeListener::on_data_access(Cycle cycle, Pc pc, Addr addr, bool is_store,
+                             const sim::HierarchyResult &result)
+{
+    inner_.on_data_access(cycle, pc, addr, is_store, result);
+    engine_->on_l2(cycle, result);
+    engine_->on_data(core_id_, cycle, addr, is_store, result.l1);
+}
+
+MulticoreResult
+Engine::run()
+{
+    // One fetch group per step: the hook fires after the first group
+    // and stops the run, with the stream position preserved for the
+    // next step.  Hooked runs disable fetch batching, but the op
+    // stream and timing are contractually identical either way (see
+    // InOrderCore::set_batch_fetch), which the N=1 byte-identity test
+    // pins down.
+    const cpu::InOrderCore::GroupHook one_group =
+        [](const cpu::CoreRunStats &) { return false; };
+
+    for (;;) {
+        // Step the core with the minimum (cycle, core_id): the strict
+        // < over an in-order scan breaks cycle ties toward the lower
+        // id, so the event interleaving is a pure function of the
+        // configuration.  Because the minimum only ever increases,
+        // every event — including cross-core invalidations landing in
+        // other cores' collectors — carries a globally non-decreasing
+        // cycle stamp, which is what the collectors' time-ordering
+        // invariant requires.
+        Node *next = nullptr;
+        for (auto &node : nodes_) {
+            if (node->running &&
+                (!next || node->core->cycle() < next->core->cycle())) {
+                next = node.get();
+            }
+        }
+        if (!next)
+            break;
+
+        const cpu::CoreRunStats delta =
+            next->core->run(next->remaining, one_group);
+        if (delta.instructions == 0) {
+            next->running = false; // finite workload exhausted
+            continue;
+        }
+        next->stats.instructions += delta.instructions;
+        next->stats.fetch_groups += delta.fetch_groups;
+        next->stats.loads += delta.loads;
+        next->stats.stores += delta.stores;
+        next->stats.instr_stall_cycles += delta.instr_stall_cycles;
+        next->stats.data_stall_cycles += delta.data_stall_cycles;
+        next->remaining -= delta.instructions;
+        if (next->remaining == 0)
+            next->running = false;
+    }
+
+    Cycle end_cycle = 0;
+    for (auto &node : nodes_) {
+        node->stats.cycles = node->core->cycle();
+        end_cycle = std::max(end_cycle, node->core->cycle());
+    }
+
+    MulticoreResult result;
+    result.end_cycle = end_cycle;
+    result.invalidations = invalidations_;
+    result.invalidating_stores = invalidating_stores_;
+    result.l2_interval_closes = l2_interval_closes_;
+    result.l2 = l2_.stats();
+
+    std::size_t kernel_caches = l2_.kernel_active() ? 1 : 0;
+    result.cores.reserve(nodes_.size());
+    for (auto &node : nodes_) {
+        node->icollector->finalize(end_cycle);
+        node->dcollector->finalize(end_cycle);
+        CoreOutcome outcome{
+            core::CacheObservation(std::move(*node->isink)),
+            core::CacheObservation(std::move(*node->dsink))};
+        outcome.workload = node->workload_name;
+        outcome.stats = node->stats;
+        outcome.icache.stats = node->hierarchy->l1i().stats();
+        outcome.dcache.stats = node->hierarchy->l1d().stats();
+        outcome.invalidations_received = node->invalidations_received;
+        kernel_caches +=
+            static_cast<std::size_t>(node->hierarchy->l1i().kernel_active()) +
+            static_cast<std::size_t>(node->hierarchy->l1d().kernel_active());
+        result.cores.push_back(std::move(outcome));
+    }
+    result.sim_path_effective = core::sim_path_effective_name(
+        kernel_caches, 2 * nodes_.size() + 1);
+
+    if (!bank_collectors_.empty()) {
+        for (std::uint64_t b = 0; b < banks_; ++b)
+            bank_collectors_[b]->finalize(end_cycle);
+        core::CacheObservation merged(
+            interval::IntervalHistogramSet(bank_sinks_.front()));
+        for (std::uint64_t b = 1; b < banks_; ++b)
+            merged.intervals.merge(bank_sinks_[b]);
+        merged.stats = l2_.stats();
+        result.l2cache.emplace(std::move(merged));
+        result.l2_banks = std::move(bank_sinks_);
+    }
+    return result;
+}
+
+} // namespace
+
+std::vector<std::string>
+resolve_mix(const std::string &benchmark,
+            const core::ExperimentConfig &config)
+{
+    if (!config.workload_mix.empty())
+        return config.workload_mix;
+    if (!workload::is_benchmark(benchmark)) {
+        throw util::StatusError(util::Status(
+            util::ErrorKind::InvalidArgument,
+            "homogeneous multicore runs need a suite benchmark, got '" +
+                benchmark + "'"));
+    }
+    return std::vector<std::string>(config.core_count, benchmark);
+}
+
+std::string
+mix_label(const std::vector<std::string> &names)
+{
+    if (names.size() == 1)
+        return names.front();
+    std::string label = "mc" + std::to_string(names.size()) + ":";
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        if (i != 0)
+            label += "+";
+        label += names[i];
+    }
+    return label;
+}
+
+MulticoreResult
+run_multicore(const std::string &benchmark,
+              const core::ExperimentConfig &config)
+{
+    if (util::Status valid = config.validate(); !valid.ok())
+        throw util::StatusError(std::move(valid));
+    if (config.keep_raw) {
+        throw util::StatusError(util::Status(
+            util::ErrorKind::InvalidArgument,
+            "raw-interval retention (keep_raw) is single-core only"));
+    }
+    config.hierarchy.validate();
+
+    const std::vector<std::string> names = resolve_mix(benchmark, config);
+    Engine engine(names, config);
+    MulticoreResult result = engine.run();
+    result.label = mix_label(names);
+
+    std::uint64_t instructions = 0;
+    for (const CoreOutcome &core : result.cores)
+        instructions += core.stats.instructions;
+    util::debug("multicore '", result.label, "': ", names.size(),
+                " cores, ", instructions, " instrs, ", result.end_cycle,
+                " cycles, ", result.invalidations, " invalidations (",
+                result.sim_path_effective, ")");
+    return result;
+}
+
+core::ExperimentResult
+MulticoreResult::to_experiment_result() const
+{
+    core::CacheObservation ic = cores.front().icache;
+    core::CacheObservation dc = cores.front().dcache;
+    cpu::CoreRunStats stats = cores.front().stats;
+    for (std::size_t i = 1; i < cores.size(); ++i) {
+        ic.intervals.merge(cores[i].icache.intervals);
+        add_cache_stats(ic.stats, cores[i].icache.stats);
+        dc.intervals.merge(cores[i].dcache.intervals);
+        add_cache_stats(dc.stats, cores[i].dcache.stats);
+        stats.instructions += cores[i].stats.instructions;
+        stats.fetch_groups += cores[i].stats.fetch_groups;
+        stats.loads += cores[i].stats.loads;
+        stats.stores += cores[i].stats.stores;
+        stats.instr_stall_cycles += cores[i].stats.instr_stall_cycles;
+        stats.data_stall_cycles += cores[i].stats.data_stall_cycles;
+    }
+    // The run's wall-clock extent is the slowest core's, not a sum —
+    // exactly the end-of-run timestamp every collector finalized at.
+    stats.cycles = end_cycle;
+
+    core::ExperimentResult result(std::move(ic), std::move(dc));
+    result.workload = label;
+    result.core = stats;
+    result.l2cache = l2cache;
+    result.l2 = l2;
+    result.sim_path_effective = sim_path_effective;
+    return result;
+}
+
+core::ExperimentResult
+run_multicore_summary(const std::string &benchmark,
+                      const core::ExperimentConfig &config)
+{
+    const auto wall_start = std::chrono::steady_clock::now();
+    core::ExperimentResult result =
+        run_multicore(benchmark, config).to_experiment_result();
+    result.wall_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - wall_start)
+                              .count();
+    return result;
+}
+
+} // namespace leakbound::multicore

@@ -79,6 +79,11 @@ build_run_request(const RunRequest &request)
         w.key("engine").value(request.engine);
     if (request.deadline_ms != 0)
         w.key("deadline_ms").value(request.deadline_ms);
+    if (request.core_count != 1)
+        w.key("core_count").value(
+            static_cast<std::uint64_t>(request.core_count));
+    if (!request.workload_mix.empty())
+        w.key("workload_mix").value(request.workload_mix);
     w.end_object();
     return w.str();
 }

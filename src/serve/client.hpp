@@ -69,6 +69,12 @@ struct RunRequest
      * part of the dedup fingerprint.
      */
     std::uint64_t deadline_ms = 0;
+    /** Cores sharing the L2 (1 = the classic single-core simulator;
+     *  omitted from the wire request at the default). */
+    std::uint32_t core_count = 1;
+    /** Per-core benchmark names (must match core_count when set);
+     *  empty runs each requested benchmark on every core. */
+    std::vector<std::string> workload_mix;
 };
 
 /** Render @p request as the wire JSON. */

@@ -85,6 +85,14 @@ main(int argc, char **argv)
     cli.add_flag("nl-lead-time",
                  "next-line timeliness lead, cycles", "0");
     cli.add_flag("collect-l2", "also collect the unified L2", "0");
+    cli.add_flag("core-count",
+                 "cores sharing the L2 (1 = single-core simulator)",
+                 "1");
+    cli.add_flag("workload-mix",
+                 "comma-separated per-core benchmarks for multicore "
+                 "runs (must match --core-count; empty = every core "
+                 "runs the requested benchmark)",
+                 "");
     cli.add_flag("payload",
                  "embed each result's full serialized payload (hex)",
                  "0");
@@ -154,6 +162,20 @@ main(int argc, char **argv)
         util::fatal("--engine must be auto, analytic or sim (got \"",
                     request.engine, "\")");
     request.deadline_ms = cli.get_u64("deadline-ms");
+    request.core_count =
+        static_cast<std::uint32_t>(cli.get_u64("core-count"));
+    if (const std::string mix = cli.get("workload-mix"); !mix.empty()) {
+        request.workload_mix = util::split(mix, ',');
+        for (const std::string &name : request.workload_mix)
+            if (!workload::is_benchmark(name))
+                util::fatal("unknown benchmark \"", name,
+                            "\" in --workload-mix");
+        if (request.workload_mix.size() != request.core_count)
+            util::fatal("--workload-mix has ",
+                        request.workload_mix.size(),
+                        " entries but --core-count is ",
+                        request.core_count);
+    }
 
     const std::uint64_t load = cli.get_u64("load");
     if (load == 0) {

@@ -96,6 +96,24 @@ Cache::frame_of_block(Addr block) const
     return kInvalidFrame;
 }
 
+FrameId
+Cache::invalidate_block(Addr block)
+{
+    const FrameId frame = frame_of_block(block);
+    if (frame == kInvalidFrame)
+        return kInvalidFrame;
+    valid_[frame] = 0;
+    tags_[frame] = kInvalidAddr;
+    // The same-block filter must forget an invalidated block, or the
+    // next access to it would short-circuit into a phantom hit on a
+    // frame that no longer holds it.
+    if (block == last_block_) {
+        last_block_ = kInvalidAddr;
+        last_frame_ = kInvalidFrame;
+    }
+    return frame;
+}
+
 Addr
 Cache::block_in_frame(FrameId frame) const
 {

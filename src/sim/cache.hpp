@@ -101,6 +101,20 @@ class Cache
     /** Block number resident in @p frame; kInvalidAddr when invalid. */
     Addr block_in_frame(FrameId frame) const;
 
+    /**
+     * Invalidate the copy of @p block (a block number, not a byte
+     * address) held by this cache — the coherence action another
+     * requester's store triggers through the directory.  Returns the
+     * frame that held the block, or kInvalidFrame when it was not
+     * resident.  Replacement state is deliberately left untouched:
+     * both decision paths prefer an invalid way over a policy victim,
+     * so the kernel rank word and the reference policy objects stay in
+     * lockstep without a policy-level invalidate hook.  Statistics are
+     * untouched too — an invalidation is not an access by this cache's
+     * requester.
+     */
+    FrameId invalidate_block(Addr block);
+
     /** Geometry. */
     const CacheConfig &config() const { return config_; }
 

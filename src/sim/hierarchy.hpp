@@ -11,6 +11,8 @@
 #ifndef LEAKBOUND_SIM_HIERARCHY_HPP
 #define LEAKBOUND_SIM_HIERARCHY_HPP
 
+#include <memory>
+
 #include "sim/cache.hpp"
 
 namespace leakbound::sim {
@@ -52,6 +54,18 @@ class Hierarchy
     explicit Hierarchy(const HierarchyConfig &config,
                        SimMode mode = SimMode::Kernel);
 
+    /**
+     * A private-L1 node over an externally owned shared L2 (the
+     * multicore hierarchy, src/multicore): this instance builds only
+     * the two L1s and routes their misses into @p shared_l2, which
+     * must outlive it.  The L1 seeds are derived from @p requester so
+     * distinct cores draw distinct Random-replacement streams;
+     * requester 0 reproduces the single-requester seeds exactly,
+     * which is what anchors the N=1 multicore byte-identity proof.
+     */
+    Hierarchy(const HierarchyConfig &config, Cache *shared_l2,
+              std::uint32_t requester, SimMode mode = SimMode::Kernel);
+
     /** Fetch the instruction line containing @p pc. */
     HierarchyResult access_instr(Pc pc) { return access_through(l1i_, pc); }
 
@@ -69,9 +83,9 @@ class Hierarchy
     Cache &l1d() { return l1d_; }
     const Cache &l1d() const { return l1d_; }
 
-    /** The unified L2. */
-    Cache &l2() { return l2_; }
-    const Cache &l2() const { return l2_; }
+    /** The unified L2 (owned, or the shared instance for a node). */
+    Cache &l2() { return *l2_; }
+    const Cache &l2() const { return *l2_; }
 
     /** Configuration in force. */
     const HierarchyConfig &config() const { return config_; }
@@ -86,9 +100,9 @@ class Hierarchy
             out.latency = l1.config().hit_latency;
             return out;
         }
-        out.l2 = l2_.access(addr);
+        out.l2 = l2_->access(addr);
         out.l2_hit = out.l2.hit;
-        out.latency = out.l2.hit ? l2_.config().hit_latency
+        out.latency = out.l2.hit ? l2_->config().hit_latency
                                  : config_.memory_latency;
         return out;
     }
@@ -96,7 +110,10 @@ class Hierarchy
     HierarchyConfig config_;
     Cache l1i_;
     Cache l1d_;
-    Cache l2_;
+    /** The L2 this instance owns; empty for shared-L2 nodes. */
+    std::unique_ptr<Cache> owned_l2_;
+    /** The L2 accesses go through (owned_l2_.get() or the shared one). */
+    Cache *l2_;
 };
 
 } // namespace leakbound::sim
